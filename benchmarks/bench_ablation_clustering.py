@@ -1,0 +1,48 @@
+"""Ablation: Linux 2.6-style page-request clustering in buffered ORFS.
+
+Paper section 3.3: "This issue [buffered accesses split into page-sized
+requests] should disappear with LINUX 2.6 kernels which are able to
+combine multiple page-sized accesses in a single request.  However,
+this would require vectorial communication primitives, that is
+something GM does not provide."
+
+This sweep turns the clustering window up on both backends: ORFS/MX
+climbs toward its direct-access throughput (vectorial readpages), while
+ORFS/GM barely moves (no vectorial primitives — the window degrades to
+per-page requests).
+"""
+
+from conftest import run_once
+
+from repro.bench.fileio import build_orfs, orfs_sequential_read
+from repro.units import MiB
+
+WINDOWS = (1, 2, 4, 8, 16)
+
+
+def _sweep():
+    out = {}
+    for api in ("mx", "gm"):
+        rig = build_orfs(api, file_size=MiB)
+        row = []
+        for window in WINDOWS:
+            rig.client_node.vfs.read_cluster_pages = window
+            r = orfs_sequential_read(rig, 256 * 1024, MiB)
+            row.append(r.throughput_mb_s)
+        out[api] = row
+    return out
+
+
+def test_ablation_26_clustering(benchmark):
+    result = run_once(benchmark, _sweep)
+    print("\ncluster window :", "  ".join(f"{w:>6}" for w in WINDOWS))
+    for api, row in result.items():
+        print(f"ORFS/{api} buffered:", "  ".join(f"{v:6.1f}" for v in row))
+    benchmark.extra_info["throughput"] = result
+    mx, gm = result["mx"], result["gm"]
+    # MX gains a lot from clustering (vectorial requests)...
+    assert mx[-1] > 1.5 * mx[0]
+    # ...GM cannot (requests stay page-sized)
+    assert gm[-1] < 1.1 * gm[0]
+    # with a 16-page window, MX buffered leaves GM far behind
+    assert mx[-1] > 2.0 * gm[-1]

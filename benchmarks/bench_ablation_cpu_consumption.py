@@ -1,0 +1,61 @@
+"""Ablation: host-CPU cycles consumed by copy-based vs zero-copy paths.
+
+The paper's motivation (section 2.1): intermediate copies "are CPU
+consuming while the user parallel application needs the CPU for its
+computations".  This experiment streams the same bytes through a
+copy-based socket stack (SOCKETS-GM) and the zero-copy one (SOCKETS-MX)
+and compares how many host-CPU cycles the receiver spent — the cycles a
+co-running computation would have lost.
+"""
+
+from conftest import run_once
+
+from repro.cluster import node_pair
+from repro.hw.params import PCI_XE
+from repro.sim import Environment
+from repro.sockets import SocketsGmModule, SocketsMxModule
+
+MESSAGES = 16
+SIZE = 256 * 1024
+
+
+def _receiver_cpu_busy(kind: str) -> float:
+    env = Environment()
+    a, b = node_pair(env, link=PCI_XE)
+    if kind == "mx":
+        ma, mb = SocketsMxModule(a, 9), SocketsMxModule(b, 9)
+    else:
+        ma, mb = SocketsGmModule(a, 9), SocketsGmModule(b, 9)
+    spa, spb = a.new_process_space(), b.new_process_space()
+    va = spa.mmap(SIZE, populate=True)
+    vb = spb.mmap(SIZE, populate=True)
+
+    def server(env):
+        yield from mb.listen()
+        sock = yield from mb.accept()
+        for _ in range(MESSAGES):
+            yield from sock.recv(spb, vb, SIZE)
+
+    def client(env):
+        sock = yield from ma.connect(1, 9)
+        for _ in range(MESSAGES):
+            yield from sock.send(spa, va, SIZE)
+
+    s = env.process(server(env))
+    env.process(client(env))
+    env.run(until=s)
+    return b.cpu.resource.busy_time / max(1, env.now)
+
+
+def _both():
+    return {"gm": _receiver_cpu_busy("gm"), "mx": _receiver_cpu_busy("mx")}
+
+
+def test_ablation_receiver_cpu_consumption(benchmark):
+    result = run_once(benchmark, _both)
+    print(f"\nreceiver CPU busy — Sockets-GM: {result['gm']:.1%}   "
+          f"Sockets-MX: {result['mx']:.1%}")
+    benchmark.extra_info["cpu_busy"] = result
+    # the copy-based stack burns substantially more receiver CPU per
+    # byte delivered than the zero-copy one
+    assert result["gm"] > 1.5 * result["mx"]

@@ -1,0 +1,73 @@
+"""Ablation: SOCKETS-GM's dispatch-thread penalty.
+
+Paper section 5.3: "limited completion notification mechanisms in GM
+require the use of an extra (dispatching) kernel thread which increases
+the latency".  This ablation sweeps the thread's context-switch cost
+(including 0, a hypothetical GM with direct wakeups) and shows the
+one-way latency is offset one-for-one — i.e. how much of SOCKETS-GM's
+15 us is structural to GM's notification model.
+"""
+
+from conftest import run_once
+
+import repro.sockets.sockets_gm as sgm
+from repro.cluster import node_pair
+from repro.hw.params import PCI_XE
+from repro.sim import Environment
+from repro.sockets import SocketsGmModule
+from repro.units import to_us
+
+WAKE_COSTS_NS = (0, 2000, 4000, 8000)
+
+
+def _one_way_us(wake_ns: int, size: int = 1, rounds: int = 8) -> float:
+    original = sgm._KTHREAD_WAKE_NS
+    sgm._KTHREAD_WAKE_NS = wake_ns
+    try:
+        env = Environment()
+        a, b = node_pair(env, link=PCI_XE)
+        ma, mb = SocketsGmModule(a, 9), SocketsGmModule(b, 9)
+        spa, spb = a.new_process_space(), b.new_process_space()
+        va = spa.mmap(4096, populate=True)
+        vb = spb.mmap(4096, populate=True)
+        times = {}
+
+        def server(env):
+            yield from mb.listen()
+            sock = yield from mb.accept()
+            for _ in range(rounds + 2):
+                yield from sock.recv(spb, vb, size)
+                yield from sock.send(spb, vb, size)
+
+        def client(env):
+            sock = yield from ma.connect(1, 9)
+            for i in range(rounds + 2):
+                if i == 2:
+                    times["t0"] = env.now
+                yield from sock.send(spa, va, size)
+                yield from sock.recv(spa, va, size)
+            times["t1"] = env.now
+
+        env.process(server(env))
+        env.run(until=env.process(client(env)))
+        return to_us((times["t1"] - times["t0"]) / (2 * rounds))
+    finally:
+        sgm._KTHREAD_WAKE_NS = original
+
+
+def _sweep():
+    return {w: _one_way_us(w) for w in WAKE_COSTS_NS}
+
+
+def test_ablation_dispatch_thread(benchmark):
+    result = run_once(benchmark, _sweep)
+    print()
+    for wake, lat in result.items():
+        print(f"kthread switch {wake / 1000:.0f} us -> one-way {lat:5.2f} us")
+    benchmark.extra_info["latency_us"] = {str(k): v for k, v in result.items()}
+    # latency moves one-for-one with the dispatch cost
+    delta = result[8000] - result[0]
+    assert 7.0 < delta < 9.0
+    # even a zero-cost thread leaves SOCKETS-GM well above SOCKETS-MX's
+    # 5 us: the bounce copies and GM's kernel latency remain
+    assert result[0] > 10.0

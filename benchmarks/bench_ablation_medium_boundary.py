@@ -1,0 +1,61 @@
+"""Ablation: sweeping MX's medium/large message boundary.
+
+Paper section 5.1: "Such an improvement [copy removal] might lead to
+increase the medium message maximal size in this context since large
+message bandwidth looks lower."  This sweep measures 48 kB transfers
+under different medium/large boundaries, with the internal copies in
+place and removed, quantifying that suggestion.
+"""
+
+from conftest import run_once
+from dataclasses import replace
+
+from repro.bench.netpipe import ping_pong, prepare_pair
+from repro.bench.transports import MxTransport
+from repro.cluster import node_pair
+from repro.hw.params import MX_STRATEGY
+from repro.sim import Environment
+
+SIZE = 48 * 1024
+BOUNDARIES = (32 * 1024, 64 * 1024)
+
+
+def _bw(boundary: int, no_copy: bool) -> float:
+    strategy = replace(MX_STRATEGY, medium_max=boundary)
+    env = Environment()
+    a, b = node_pair(env)
+
+    def make(node, peer):
+        t = MxTransport(node, 1, peer_node=peer, peer_ep=1, context="kernel",
+                        physical=True, no_send_copy=no_copy,
+                        no_recv_copy=no_copy)
+        t.endpoint.strategy = strategy
+        return t
+
+    ta, tb = make(a, 1), make(b, 0)
+    prepare_pair(env, ta, tb, SIZE)
+    return ping_pong(env, ta, tb, SIZE, rounds=5).bandwidth_mb_s
+
+
+def _sweep():
+    return {
+        (boundary, nsc): _bw(boundary, nsc)
+        for boundary in BOUNDARIES
+        for nsc in (False, True)
+    }
+
+
+def test_ablation_medium_boundary(benchmark):
+    result = run_once(benchmark, _sweep)
+    print()
+    for (boundary, nc), bw in result.items():
+        mode = "copies removed" if nc else "with copies  "
+        path = "medium" if SIZE <= boundary else "large "
+        print(f"boundary {boundary // 1024:>3}k ({path}, {mode}): {bw:6.1f} MB/s")
+    benchmark.extra_info["bw"] = {f"{b}/{n}": v for (b, n), v in result.items()}
+    # With copies, the rendezvous large path beats the copy-burdened
+    # medium path at 48 kB: the 32 kB boundary is right for stock MX...
+    assert result[(32 * 1024, False)] > result[(64 * 1024, False)]
+    # ...but with the copies removed, medium wins: raising the boundary
+    # pays off, exactly as the paper suggests.
+    assert result[(64 * 1024, True)] > result[(32 * 1024, True)]

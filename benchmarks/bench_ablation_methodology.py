@@ -1,0 +1,69 @@
+"""Ablation: ping-pong vs streaming bandwidth methodology.
+
+The paper's plots are NetPIPE ping-pongs (a full round trip per point).
+Applications that overlap communication see streaming rates instead.
+This ablation measures both on identical transports and shows:
+
+* streaming recovers most of the per-message latency at medium sizes;
+* the copy-removal gain of figure 6 is a *ping-pong* phenomenon: under
+  streaming the bounce copy pipelines with the wire and can even *win*
+  — the buffered send completes at copy time, so the sender streams
+  back-to-back, while the zero-copy in-place send must hold the buffer
+  until its DMA finishes (one message serialized per loop here).  The
+  copy still burns host CPU, though — see
+  ``bench_ablation_cpu_consumption.py`` — which is why the paper's
+  removal matters for real applications that need those cycles.
+"""
+
+from conftest import run_once
+
+from repro.bench.netpipe import ping_pong, prepare_pair
+from repro.bench.streams import stream
+from repro.bench.transports import MxTransport
+from repro.cluster import node_pair
+from repro.sim import Environment
+
+SIZES = (4096, 32 * 1024)
+
+
+def _measure(no_send_copy: bool, mode: str, size: int) -> float:
+    env = Environment()
+    a, b = node_pair(env)
+    ta = MxTransport(a, 1, peer_node=1, peer_ep=1, context="kernel",
+                     physical=True, no_send_copy=no_send_copy)
+    tb = MxTransport(b, 1, peer_node=0, peer_ep=1, context="kernel",
+                     physical=True, no_send_copy=no_send_copy)
+    prepare_pair(env, ta, tb, size)
+    if mode == "pingpong":
+        return ping_pong(env, ta, tb, size, rounds=8).bandwidth_mb_s
+    return stream(env, ta, tb, size, messages=32).bandwidth_mb_s
+
+
+def _sweep():
+    out = {}
+    for size in SIZES:
+        for mode in ("pingpong", "stream"):
+            for nsc in (False, True):
+                out[(size, mode, nsc)] = _measure(nsc, mode, size)
+    return out
+
+
+def test_ablation_methodology(benchmark):
+    result = run_once(benchmark, _sweep)
+    print()
+    for (size, mode, nsc), bw in sorted(result.items()):
+        label = "no-send-copy" if nsc else "with copies "
+        print(f"{size // 1024:>3}k {mode:<9} {label}: {bw:6.1f} MB/s")
+    benchmark.extra_info["bw"] = {f"{s}/{m}/{n}": v
+                                  for (s, m, n), v in result.items()}
+    for size in SIZES:
+        # streaming always beats ping-pong at the same size
+        assert result[(size, "stream", False)] > result[(size, "pingpong", False)]
+        # copy removal matters under ping-pong...
+        pp_gain = (result[(size, "pingpong", True)]
+                   / result[(size, "pingpong", False)] - 1)
+        assert pp_gain > 0.08
+        # ...but nearly vanishes under streaming (the copy pipelines)
+        st_gain = (result[(size, "stream", True)]
+                   / result[(size, "stream", False)] - 1)
+        assert st_gain < pp_gain / 2

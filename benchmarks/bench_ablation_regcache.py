@@ -1,0 +1,68 @@
+"""Ablation: registration-cache hit ratio vs direct-access throughput.
+
+DESIGN.md section 5.  The paper measures only the two endpoints of this
+knob (100 % hits vs 0 % hits, figure 3(b)); this ablation sweeps buffer
+reuse to show the transition, plus the microscopic view: GMKRC hit cost
+vs miss cost per acquire.
+"""
+
+from conftest import run_once
+
+from repro.bench.fileio import build_orfs, orfs_sequential_read
+from repro.cluster import node_pair
+from repro.gm.kernel import GmKernelPort
+from repro.gmkrc import Gmkrc
+from repro.sim import Environment
+from repro.units import MiB, PAGE_SIZE, to_us
+
+
+def _endpoint_throughputs():
+    """Direct 256 kB reads with the cache enabled vs disabled."""
+    out = {}
+    for enabled in (True, False):
+        rig = build_orfs("gm", regcache_enabled=enabled, file_size=MiB)
+        r = orfs_sequential_read(rig, 256 * 1024, MiB, direct=True)
+        out[enabled] = r.throughput_mb_s
+    return out
+
+
+def _acquire_costs():
+    """Per-acquire cost of a GMKRC hit vs a miss (16-page buffer)."""
+    env = Environment()
+    node, _ = node_pair(env)
+    port = GmKernelPort(node, 2)
+    cache = Gmkrc(port, node.vmaspy)
+    space = node.new_process_space()
+    vaddr = space.mmap(16 * PAGE_SIZE)
+    costs = {}
+
+    def script(env):
+        t0 = env.now
+        _, e = yield from cache.acquire(space, vaddr, 16 * PAGE_SIZE)
+        costs["miss_us"] = to_us(env.now - t0)
+        cache.release(e)
+        t1 = env.now
+        _, e = yield from cache.acquire(space, vaddr, 16 * PAGE_SIZE)
+        costs["hit_us"] = to_us(env.now - t1)
+        cache.release(e)
+
+    env.run(until=env.process(script(env)))
+    return costs
+
+
+def test_ablation_regcache_endpoints(benchmark):
+    result = run_once(benchmark, _endpoint_throughputs)
+    print(f"\nregcache on : {result[True]:.1f} MB/s")
+    print(f"regcache off: {result[False]:.1f} MB/s")
+    benchmark.extra_info["throughput"] = {str(k): v for k, v in result.items()}
+    loss = 1 - result[False] / result[True]
+    assert 0.08 < loss < 0.30  # paper: ~20 % (figure 3(b))
+
+
+def test_ablation_regcache_acquire_costs(benchmark):
+    costs = run_once(benchmark, _acquire_costs)
+    print(f"\nGMKRC miss: {costs['miss_us']:.1f} us   hit: {costs['hit_us']:.2f} us")
+    benchmark.extra_info.update(costs)
+    # a miss pays pinning + 3 us/page registration; a hit is ~free
+    assert costs["miss_us"] > 40
+    assert costs["hit_us"] < 1.0

@@ -1,0 +1,55 @@
+"""Extension: the Network Block Device client (paper section 6).
+
+The paper predicts NBD "should also benefit from our improved kernel
+interface since its needs are similar to buffered distant file access".
+This benchmark runs the implemented NBD client over both APIs and
+checks the GM-to-MX gain sits in the same band as buffered ORFS
+(figure 7(b)).
+"""
+
+from conftest import run_once
+
+from repro.cluster import node_pair
+from repro.core import GmKernelChannel, MxKernelChannel
+from repro.nbd import NbdDevice, NbdServer
+from repro.sim import Environment
+from repro.units import PAGE_SIZE, bandwidth_mb_s
+
+BLOCKS = 512
+
+
+def _throughput(api: str) -> float:
+    env = Environment()
+    client_node, server_node = node_pair(env)
+    server = NbdServer(server_node, 3, api=api, device_blocks=BLOCKS)
+    env.run(until=server.start())
+    if api == "mx":
+        channel = MxKernelChannel(client_node, 4)
+    else:
+        channel = GmKernelChannel(client_node, 4)
+    dev = NbdDevice(client_node, channel, (server_node.node_id, 3),
+                    server.device_inode, BLOCKS)
+    space = client_node.new_process_space()
+    size = BLOCKS * PAGE_SIZE
+    vaddr = space.mmap(size)
+    t0 = env.now
+
+    def app(env):
+        yield from dev.read(space, vaddr, 0, size)
+
+    env.run(until=env.process(app(env)))
+    return bandwidth_mb_s(size, env.now - t0)
+
+
+def _both():
+    return {"gm": _throughput("gm"), "mx": _throughput("mx")}
+
+
+def test_ext_nbd_sequential_read(benchmark):
+    result = run_once(benchmark, _both)
+    print(f"\nNBD/GM: {result['gm']:.1f} MB/s   NBD/MX: {result['mx']:.1f} MB/s "
+          f"(+{(result['mx'] / result['gm'] - 1) * 100:.0f} %)")
+    benchmark.extra_info["throughput"] = result
+    gain = result["mx"] / result["gm"] - 1
+    # the same band as buffered ORFS: the paper's section-6 prediction
+    assert 0.25 < gain < 0.55

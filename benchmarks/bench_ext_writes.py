@@ -1,0 +1,79 @@
+"""Extension: write-path throughput over ORFS (GM vs MX).
+
+The paper evaluates reads; writes exercise the mirror-image mechanisms
+(dirty page cache + writepage vs zero-copy direct_write with protocol
+chunking), so the same interface effects should — and do — appear:
+
+* buffered writes absorb into the page cache at memory speed and pay
+  the network at writeback, page by page (GM loses there like
+  figure 7(b));
+* O_DIRECT writes stream in wsize chunks and approach the wire on both
+  APIs, with MX slightly ahead (like figure 7(a)).
+"""
+
+from conftest import run_once
+
+from repro.bench.fileio import build_orfs
+from repro.kernel import OpenFlags
+from repro.kernel.vfs import UserBuffer
+from repro.units import MiB, bandwidth_mb_s, page_align_up
+
+TOTAL = MiB
+
+
+def _write_throughput(api: str, direct: bool) -> dict:
+    rig = build_orfs(api, file_size=TOTAL)
+    node = rig.client_node
+    env = rig.env
+    flags = OpenFlags.RDWR | OpenFlags.CREAT | (
+        OpenFlags.DIRECT if direct else OpenFlags.RDWR)
+    space = node.new_process_space()
+    vaddr = space.mmap(page_align_up(TOTAL))
+    space.write_bytes(vaddr, b"w" * TOTAL)
+    out = {}
+
+    def app(env):
+        fd = yield from node.vfs.open("/orfs/out", flags)
+        t0 = env.now
+        yield from node.vfs.write(fd, UserBuffer(space, vaddr, TOTAL))
+        out["write_ns"] = env.now - t0
+        t1 = env.now
+        yield from node.vfs.fsync(fd)
+        out["fsync_ns"] = env.now - t1
+        yield from node.vfs.close(fd)
+
+    env.run(until=env.process(app(env)))
+    visible = bandwidth_mb_s(TOTAL, out["write_ns"])
+    durable = bandwidth_mb_s(TOTAL, out["write_ns"] + out["fsync_ns"])
+    # correctness: the server holds the bytes after fsync
+    assert rig.server.fs.read_raw(3, 0, 16) == b"w" * 16  # inode 3 = /orfs/out
+    return {"visible": visible, "durable": durable}
+
+
+def _sweep():
+    return {
+        (api, mode): _write_throughput(api, mode == "direct")
+        for api in ("mx", "gm")
+        for mode in ("buffered", "direct")
+    }
+
+
+def test_ext_write_paths(benchmark):
+    r = run_once(benchmark, _sweep)
+    print()
+    for (api, mode), v in r.items():
+        print(f"ORFS/{api} {mode:<8}: write() sees {v['visible']:7.1f} MB/s, "
+              f"durable {v['durable']:6.1f} MB/s")
+    benchmark.extra_info["throughput"] = {
+        f"{a}/{m}": v for (a, m), v in r.items()}
+    # buffered writes absorb at memory speed (far above the wire)...
+    assert r[("mx", "buffered")]["visible"] > 400
+    # ...but durability costs the per-page writeback; MX wins like 7(b)
+    gain = (r[("mx", "buffered")]["durable"]
+            / r[("gm", "buffered")]["durable"] - 1)
+    assert 0.2 < gain < 0.6
+    # O_DIRECT writes stream in wsize chunks: both APIs land well above
+    # the buffered plateau and within a few percent of each other (the
+    # tiny replies blunt the interface difference)
+    assert r[("mx", "direct")]["durable"] >= 0.93 * r[("gm", "direct")]["durable"]
+    assert r[("mx", "direct")]["durable"] > 130

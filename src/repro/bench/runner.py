@@ -1,0 +1,71 @@
+"""CLI entry point: regenerate any of the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench fig5a          # one experiment
+    python -m repro.bench table1
+    python -m repro.bench all            # everything (several minutes)
+    python -m repro.bench fig6 --json    # machine-readable series
+    python -m repro.bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .figures import FIGURES, run_figure
+
+ALL = sorted(FIGURES) + ["table1"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate tables/figures of Goglin et al., CLUSTER 2005",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help=f"experiment names ({', '.join(ALL)}) or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the series as JSON instead of tables "
+                             "(table1 is text-only and is skipped)")
+    args = parser.parse_args(argv)
+    if args.list or not args.experiments:
+        print("\n".join(ALL))
+        return 0
+    names = ALL if args.experiments == ["all"] else args.experiments
+    if args.json:
+        out = {}
+        for name in names:
+            if name == "table1":
+                continue
+            try:
+                fn = FIGURES[name]
+            except KeyError:
+                print(f"unknown experiment {name!r}", file=sys.stderr)
+                return 2
+            data = fn()
+            out[name] = {
+                "title": data.title,
+                "xlabel": data.xlabel,
+                "unit": data.unit,
+                "xs": list(data.xs),
+                "series": {k: list(v) for k, v in data.series.items()},
+            }
+        print(json.dumps(out, indent=2))
+        return 0
+    for name in names:
+        try:
+            print(run_figure(name))
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

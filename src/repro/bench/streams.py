@@ -1,0 +1,72 @@
+"""Streaming (unidirectional, windowed) bandwidth measurement.
+
+NetPIPE-style ping-pong (:mod:`repro.bench.netpipe`) charges a full
+round trip per message, so per-message latency suppresses medium-size
+bandwidth.  Streaming keeps ``window`` messages in flight and measures
+the drain rate — how an application that overlaps communication sees the
+network.  Comparing the two methodologies is itself instructive: GM's
+send-side bounce copies vanish under streaming (they pipeline with the
+wire) but not under ping-pong; see
+``benchmarks/bench_ablation_methodology.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import Environment
+from ..units import bandwidth_mb_s
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Outcome of one streaming measurement."""
+
+    size: int
+    messages: int
+    window: int
+    elapsed_ns: int
+
+    @property
+    def bandwidth_mb_s(self) -> float:
+        return bandwidth_mb_s(self.size * self.messages, self.elapsed_ns)
+
+
+def stream(
+    env: Environment,
+    sender,
+    receiver,
+    size: int,
+    messages: int = 32,
+    window: int = 8,
+    warmup: int = 4,
+) -> StreamResult:
+    """Push ``messages`` of ``size`` bytes one way with ``window``
+    receives pre-posted; measures receiver-observed drain time.
+
+    Both transports must already be ``prepare``d.  The sender issues
+    back-to-back sends; the receiver keeps the window full.  Timing
+    starts when the first measured message lands and ends at the last.
+    """
+    if messages < 1 or window < 1:
+        raise ValueError("messages and window must be >= 1")
+    total = messages + warmup
+    stamps: list[int] = []
+
+    def sender_proc(env):
+        for i in range(total):
+            yield from sender.send(size, match=0)
+
+    def receiver_proc(env):
+        for i in range(total):
+            yield from receiver.recv(size)
+            if i == warmup - 1 or (warmup == 0 and i == 0):
+                stamps.append(env.now)
+        stamps.append(env.now)
+
+    env.process(sender_proc(env), name="stream.tx")
+    rx = env.process(receiver_proc(env), name="stream.rx")
+    env.run(until=rx)
+    elapsed = stamps[-1] - stamps[0]
+    return StreamResult(size=size, messages=messages, window=window,
+                        elapsed_ns=elapsed)

@@ -1,0 +1,121 @@
+"""File-access workload generators.
+
+Deterministic (seeded) access-pattern generators for exercising the
+file-system paths beyond the paper's sequential sweeps: sequential,
+strided, uniform-random, and zipf-like hot/cold — the shapes real
+cluster applications (out-of-core solvers, databases; paper section
+2.3.2) put on a storage client.
+
+Each generator yields ``(offset, length)`` pairs covering a file of
+``file_size`` bytes; :func:`run_access_pattern` drives one through the
+VFS and reports throughput plus page-cache statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..kernel import OpenFlags
+from ..kernel.vfs import UserBuffer
+from ..units import PAGE_SIZE, bandwidth_mb_s
+
+
+class _Lcg:
+    """Tiny deterministic PRNG (no global random state, sim-safe)."""
+
+    def __init__(self, seed: int):
+        self.state = (seed * 2654435761 + 1) & 0xFFFFFFFF
+
+    def next(self, bound: int) -> int:
+        self.state = (self.state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self.state % bound
+
+
+def sequential(file_size: int, request: int) -> Iterator[tuple[int, int]]:
+    """Front-to-back, the paper's methodology."""
+    offset = 0
+    while offset < file_size:
+        yield offset, min(request, file_size - offset)
+        offset += request
+
+
+def strided(file_size: int, request: int, stride: int) -> Iterator[tuple[int, int]]:
+    """Fixed stride with wraparound until every stripe is covered."""
+    if stride <= 0 or stride % request:
+        raise ValueError("stride must be a positive multiple of request")
+    lanes = stride // request
+    for lane in range(lanes):
+        offset = lane * request
+        while offset < file_size:
+            yield offset, min(request, file_size - offset)
+            offset += stride
+
+
+def uniform_random(file_size: int, request: int, count: int,
+                   seed: int = 1) -> Iterator[tuple[int, int]]:
+    """Uniform random aligned requests."""
+    rng = _Lcg(seed)
+    slots = max(1, file_size // request)
+    for _ in range(count):
+        yield rng.next(slots) * request, request
+
+
+def hot_cold(file_size: int, request: int, count: int,
+             hot_fraction: float = 0.1, hot_hit_pct: int = 90,
+             seed: int = 1) -> Iterator[tuple[int, int]]:
+    """Zipf-ish: ``hot_hit_pct`` % of requests land in the first
+    ``hot_fraction`` of the file."""
+    rng = _Lcg(seed)
+    slots = max(1, file_size // request)
+    hot_slots = max(1, int(slots * hot_fraction))
+    for _ in range(count):
+        if rng.next(100) < hot_hit_pct:
+            slot = rng.next(hot_slots)
+        else:
+            slot = hot_slots + rng.next(max(1, slots - hot_slots))
+        yield min(slot, slots - 1) * request, request
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one access-pattern run."""
+
+    bytes_moved: int
+    elapsed_ns: int
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def throughput_mb_s(self) -> float:
+        return bandwidth_mb_s(self.bytes_moved, self.elapsed_ns)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+def run_access_pattern(node, path: str, pattern, direct: bool = False):
+    """Generator: drive ``pattern`` (offset, length pairs) through the
+    VFS; returns a :class:`WorkloadResult`."""
+    env = node.env
+    flags = OpenFlags.RDONLY | (OpenFlags.DIRECT if direct else OpenFlags.RDONLY)
+    space = node.new_process_space()
+    hits0, misses0 = node.pagecache.hits, node.pagecache.misses
+    fd = yield from node.vfs.open(path, flags)
+    buf = space.mmap(max(PAGE_SIZE, 1024 * 1024))
+    moved = 0
+    t0 = env.now
+    for offset, length in pattern:
+        node.vfs.seek(fd, offset)
+        n = yield from node.vfs.read(fd, UserBuffer(space, buf, length))
+        moved += n
+    elapsed = env.now - t0
+    yield from node.vfs.close(fd)
+    return WorkloadResult(
+        bytes_moved=moved,
+        elapsed_ns=elapsed,
+        cache_hits=node.pagecache.hits - hits0,
+        cache_misses=node.pagecache.misses - misses0,
+    )

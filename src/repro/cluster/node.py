@@ -1,0 +1,79 @@
+"""One cluster node and topology builders.
+
+``node_pair`` reproduces the paper's platform: two 2.6 GHz dual-Xeon
+nodes with 2 GB RAM and PCI-XD Myrinet cards back to back (section 3.1);
+pass ``link=PCI_XE`` for the socket experiments of section 5.3.
+"""
+
+from __future__ import annotations
+
+from ..hw.cpu import Cpu
+from ..hw.link import Link
+from ..hw.nic import Nic
+from ..hw.params import HostParams, LinkParams, NicParams, PCI_XD
+from ..hw.switch import Switch
+from ..kernel.pagecache import PageCache
+from ..kernel.vfs import Vfs
+from ..kernel.vmaspy import VmaSpy
+from ..mem.addrspace import AddressSpace
+from ..mem.kmem import KernelSpace
+from ..mem.phys import PhysicalMemory
+from ..sim import Environment
+
+
+class Node:
+    """A complete cluster machine."""
+
+    def __init__(self, env: Environment, node_id: int, params: HostParams,
+                 name: str = ""):
+        self.env = env
+        self.node_id = node_id
+        self.params = params
+        self.name = name or f"node{node_id}"
+        self.phys = PhysicalMemory(params.memory_frames)
+        self.cpu = Cpu(env, params.cpu, capacity=params.cpu_cores,
+                       name=f"{self.name}.cpu")
+        self.kspace = KernelSpace(self.phys)
+        self.pagecache = PageCache(self.phys, max_pages=params.memory_frames // 2)
+        self.vfs = Vfs(env, self.cpu, self.pagecache)
+        self.vmaspy = VmaSpy()
+        self.nic = Nic(env, params.nic, self.phys, node_id, name=f"{self.name}.nic")
+
+    def new_process_space(self) -> AddressSpace:
+        """Create the address space of a fresh user process on this node."""
+        return AddressSpace(self.phys)
+
+
+def node_pair(
+    env: Environment,
+    link: LinkParams = PCI_XD,
+    host: HostParams | None = None,
+) -> tuple[Node, Node]:
+    """Two nodes joined by a direct link (the paper's platform)."""
+    params = host or HostParams(nic=NicParams(link=link))
+    a = Node(env, 0, params, name="nodeA")
+    b = Node(env, 1, params, name="nodeB")
+    wire = Link(env, link, name="wire")
+    a.nic.attach_link(wire, "a")
+    b.nic.attach_link(wire, "b")
+    return a, b
+
+
+def star(
+    env: Environment,
+    n_nodes: int,
+    link: LinkParams = PCI_XD,
+    host: HostParams | None = None,
+) -> tuple[list[Node], Switch]:
+    """``n_nodes`` nodes around one crossbar switch."""
+    if n_nodes < 2:
+        raise ValueError(f"a star needs at least 2 nodes, got {n_nodes}")
+    params = host or HostParams(nic=NicParams(link=link))
+    switch = Switch(env, link)
+    nodes = []
+    for node_id in range(n_nodes):
+        node = Node(env, node_id, params)
+        uplink, end = switch.add_node(node_id)
+        node.nic.attach_link(uplink, end)
+        nodes.append(node)
+    return nodes, switch

@@ -1,0 +1,51 @@
+"""The paper's primary contribution: an efficient in-kernel network API.
+
+This package distils what the paper proposes (section 4) into one
+abstraction that in-kernel applications — the ORFS client, the zero-copy
+socket protocols, the NBD client — program against:
+
+* **Typed memory segments** (user virtual / kernel virtual / physical),
+  reusing :class:`repro.mx.MxSegment`, since the MX kernel interface is
+  the design the authors upstreamed;
+* **Vectorial transfers** — several non-contiguous segments in one
+  operation (section 4.1);
+* **Flexible completion** — handles that can be waited on singly or as
+  a group, with cheap blocking waits (section 5.2);
+* **No mandatory registration** — the channel hides whatever pinning or
+  registration machinery its backend needs.
+
+Two backends exist, mirroring the paper's comparison:
+
+* :class:`MxKernelChannel` — a thin veneer over the MX kernel endpoint
+  (everything maps 1:1: this API *is* MX's);
+* :class:`GmKernelChannel` — the best that can be built over GM plus
+  the paper's own extensions: physical-address primitives for
+  kernel/physical memory, GMKRC (pin-down cache + VMA SPY) for user
+  memory, and a dispatcher that demultiplexes GM's unified event queue
+  into per-request completions — paying GM's limited-notification costs
+  on every delivery.
+
+Running the *same* ORFS/sockets code over both backends is exactly the
+experiment of sections 5.2-5.3.
+"""
+
+from .channel import (
+    ChannelRecv,
+    ChannelSend,
+    GmKernelChannel,
+    KernelChannel,
+    MxKernelChannel,
+    UnsupportedOperation,
+)
+from ..mx.memtypes import MemType, MxSegment as TypedSegment
+
+__all__ = [
+    "ChannelRecv",
+    "ChannelSend",
+    "GmKernelChannel",
+    "KernelChannel",
+    "MemType",
+    "MxKernelChannel",
+    "TypedSegment",
+    "UnsupportedOperation",
+]

@@ -1,0 +1,31 @@
+"""GM: the (then-)official Myrinet message-passing interface.
+
+Models GM 2.0 as the paper uses it:
+
+* :class:`GmPort` — a user-space communication port: explicit memory
+  registration (:mod:`repro.gm.registration`), ``gm_send`` /
+  ``gm_provide_receive_buffer``, and the single unified event queue
+  (``gm_receive``) that makes completion handling inflexible (paper
+  sections 2.2.2, 5.2).
+* :class:`GmKernelPort` — the kernel interface, including the paper's
+  additions (section 3.3): **physical-address-based** send and receive
+  primitives that skip both registration and the NIC translation lookup
+  (0.5 us per side).
+
+GM's user-facing restriction that one port belongs to one process is
+kept (a port carries the address space it translates against); the
+GMKRC shared-port trick that lifts it lives in :mod:`repro.gmkrc`.
+"""
+
+from .api import GmEvent, GmEventKind, GmPort
+from .kernel import GmKernelPort
+from .registration import GmRegion, RegistrationDomain
+
+__all__ = [
+    "GmEvent",
+    "GmEventKind",
+    "GmKernelPort",
+    "GmPort",
+    "GmRegion",
+    "RegistrationDomain",
+]

@@ -1,0 +1,340 @@
+"""The GM user-space API: ports, registered sends, the unified event queue.
+
+Follows the GM 2.x programming model the paper describes (section
+2.2.2): "The user posts send, receive or remote memory access requests
+and gets their completion notifications in a unique event queue."  All
+I/O buffers must be registered first; sends and receive buffers are
+specified by virtual address and the NIC translates through its table.
+
+Deviations from the real API, documented:
+
+* GM matches receive buffers by *size class and priority*; we use an
+  integer match tag (None = wildcard) — equivalent expressive power for
+  every protocol in the paper, far less bookkeeping.
+* ``gm_send_with_callback``'s callback becomes a send-completion event
+  in the queue (which is how protocols actually consumed it).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..cluster.node import Node
+from ..errors import GMError, GMSendQueueFull
+from ..hw.nic import NicPort, PostedReceive, SendDescriptor
+from ..hw.params import ApiCosts, GM_USER_COSTS
+from ..mem.addrspace import AddressSpace
+from ..mem.layout import PhysSegment
+from ..sim import Store
+from ..units import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE
+from .registration import GmRegion, RegistrationDomain
+
+#: GM bounds the number of in-flight sends per port ("some interfaces
+#: (especially GM) ask the user to limit the amount of pending
+#: requests", section 4.1).
+GM_SEND_QUEUE_DEPTH = 64
+
+
+class GmEventKind(enum.Enum):
+    RECV = "recv"
+    SENT = "sent"
+
+
+@dataclass
+class GmEvent:
+    """One entry of the port's unified event queue."""
+
+    kind: GmEventKind
+    size: int = 0
+    match: int = 0
+    src_node: int = -1
+    src_port: int = -1
+    tag: Any = None
+    data: Optional[bytes] = None
+    meta: Any = None  # sender's out-of-band protocol header
+
+
+class GmPort:
+    """A GM communication port owned by one user process."""
+
+    _context_ids = itertools.count(1000)
+
+    def __init__(self, node: Node, port_id: int, space: AddressSpace,
+                 costs: ApiCosts = GM_USER_COSTS):
+        self.node = node
+        self.port_id = port_id
+        self.space = space
+        self.costs = costs
+        self.cpu = node.cpu
+        self.env = node.env
+        self.context = next(GmPort._context_ids)
+        self.nic_port: NicPort = node.nic.open_port(port_id, costs)
+        self.domain = RegistrationDomain(node.cpu, node.nic.transtable, self.context)
+        self.events: Store = Store(node.env, f"gm{port_id}.events")
+        self._pending_sends = 0
+        self.nic_port.completion_sink = self._on_recv_completion
+        self._open = True
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, vaddr: int, length: int):
+        """Generator: gm_register_memory on this port's address space."""
+        self._check_open()
+        region = yield from self.domain.register_user(self.space, vaddr, length)
+        return region
+
+    def deregister(self, region: GmRegion):
+        """Generator: gm_deregister_memory."""
+        self._check_open()
+        yield from self.domain.deregister(region)
+
+    # -- sending --------------------------------------------------------------------
+
+    def send(self, dst_node: int, dst_port: int, vaddr: int, length: int,
+             match: int = 0, tag: Any = None, meta: Any = None):
+        """Generator: gm_send from a registered buffer.
+
+        Returns once the descriptor is handed to the NIC; the completion
+        arrives in the event queue as a SENT event.
+        """
+        self._check_open()
+        if self._pending_sends >= GM_SEND_QUEUE_DEPTH:
+            raise GMSendQueueFull(f"port {self.port_id}: {self._pending_sends} pending")
+        region = self.domain.find(vaddr, length)
+        if region is None:
+            raise GMError(
+                f"send from unregistered memory {vaddr:#x}+{length} "
+                f"(GM requires gm_register_memory first)"
+            )
+        sg = self._sg_through_table(region, vaddr, length)
+        yield from self.cpu.work(self.costs.host_send_ns)
+        yield from self.cpu.work(self.node.nic.doorbell_time_ns())
+        self._pending_sends += 1
+        desc = SendDescriptor(
+            dst_nic=dst_node,
+            dst_port=dst_port,
+            match=match,
+            size=length,
+            src_port=self.port_id,
+            sg=sg,
+            translate_tx=True,  # NIC resolves the registered virtual address
+            fw_send_ns=self.costs.fw_send_ns,
+            tag=tag,
+            meta=meta,
+        )
+        completion = self.node.nic.submit(desc)
+        completion.add_callback(lambda ev: self._on_send_completion(ev.value))
+
+    def _sg_through_table(self, region: GmRegion, vaddr: int, length: int
+                          ) -> list[PhysSegment]:
+        """Resolve the physical segments the NIC's table would produce."""
+        segments: list[PhysSegment] = []
+        addr = vaddr
+        remaining = length
+        while remaining > 0:
+            vpn_index = (addr >> PAGE_SHIFT) - region.key_base_vpn
+            frame = region.frames[vpn_index]
+            offset = addr & PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - offset)
+            segments.append(PhysSegment(frame.phys_addr + offset, chunk))
+            addr += chunk
+            remaining -= chunk
+        return segments
+
+    # -- receiving -------------------------------------------------------------------
+
+    def provide_receive_buffer(self, vaddr: int, length: int,
+                               match: Optional[int] = None, tag: Any = None):
+        """Generator: gm_provide_receive_buffer from a registered buffer."""
+        self._check_open()
+        region = self.domain.find(vaddr, length)
+        if region is None:
+            raise GMError(
+                f"receive buffer {vaddr:#x}+{length} is not registered"
+            )
+        sg = self._sg_through_table(region, vaddr, length)
+        yield from self.cpu.work(self.costs.host_recv_post_ns)
+        self.nic_port.post_receive(
+            PostedReceive(
+                match=match,
+                capacity=length,
+                dest_sg=sg,
+                translate_rx=True,
+                tag=tag,
+            )
+        )
+
+    # -- remote memory access (gm_directed_send) ----------------------------------------
+
+    def rma_window(self, vaddr: int, length: int, window_id: int):
+        """Generator: expose a registered region as an RMA window.
+
+        Directed sends from peers deposit into it silently (no receive
+        event at the target — GM's directed-send semantics).  The window
+        stays armed until the port closes.
+        """
+        self._check_open()
+        region = self.domain.find(vaddr, length)
+        if region is None:
+            raise GMError(f"RMA window {vaddr:#x}+{length} is not registered")
+        sg = self._sg_through_table(region, vaddr, length)
+        yield from self.cpu.work(self.costs.host_recv_post_ns)
+        self.nic_port.post_receive(
+            PostedReceive(
+                match=window_id,
+                capacity=length,
+                dest_sg=sg,
+                translate_rx=True,
+                persistent=True,
+                tag=("rma", window_id),
+            )
+        )
+
+    def send_directed(self, dst_node: int, dst_port: int, vaddr: int,
+                      length: int, window_id: int, remote_offset: int = 0,
+                      tag: Any = None):
+        """Generator: gm_directed_send — put a registered local region
+        into a peer's RMA window at ``remote_offset``.
+
+        Completion (the SENT event) is the only notification; the target
+        host is never involved — the "remote memory access requests" of
+        GM's operation list (paper section 2.2.2).
+        """
+        self._check_open()
+        if self._pending_sends >= GM_SEND_QUEUE_DEPTH:
+            raise GMSendQueueFull(f"port {self.port_id}: {self._pending_sends} pending")
+        if remote_offset < 0:
+            raise GMError(f"negative remote offset {remote_offset}")
+        region = self.domain.find(vaddr, length)
+        if region is None:
+            raise GMError(
+                f"directed send from unregistered memory {vaddr:#x}+{length}"
+            )
+        sg = self._sg_through_table(region, vaddr, length)
+        yield from self.cpu.work(self.costs.host_send_ns)
+        yield from self.cpu.work(self.node.nic.doorbell_time_ns())
+        self._pending_sends += 1
+        desc = SendDescriptor(
+            dst_nic=dst_node,
+            dst_port=dst_port,
+            match=window_id,
+            size=length,
+            src_port=self.port_id,
+            sg=sg,
+            translate_tx=True,
+            fw_send_ns=self.costs.fw_send_ns,
+            tag=tag,
+            rma_offset=remote_offset,
+        )
+        completion = self.node.nic.submit(desc)
+        completion.add_callback(lambda ev: self._on_send_completion(ev.value))
+
+    # -- the unified event queue --------------------------------------------------------
+
+    def receive_event(self, blocking: bool = False):
+        """Generator: gm_receive — next event from the unified queue.
+
+        ``blocking=True`` models sleeping until the event (interrupt +
+        wakeup) instead of spinning; it costs
+        ``costs.blocking_wakeup_ns`` extra, the penalty the paper blames
+        for GM's poor fit under ORFS and SOCKETS-GM.
+        """
+        self._check_open()
+        event = yield self.events.get()
+        yield from self.cpu.work(self.costs.host_event_ns)
+        if blocking:
+            yield from self.cpu.work(self.costs.blocking_wakeup_ns)
+        return event
+
+    def _on_recv_completion(self, completion) -> None:
+        self.events.put(
+            GmEvent(
+                kind=GmEventKind.RECV,
+                size=completion.size,
+                match=completion.match,
+                src_node=completion.src_nic,
+                src_port=completion.src_port,
+                tag=completion.tag,
+                data=completion.data,
+                meta=completion.meta,
+            )
+        )
+
+    def _on_send_completion(self, completion) -> None:
+        self._pending_sends -= 1
+        self.events.put(
+            GmEvent(kind=GmEventKind.SENT, size=completion.size, tag=completion.tag)
+        )
+
+    # -- sends/receives through explicitly keyed registrations (GMKRC) ----------------
+    # The key namespace may be the plain virtual address (single-process
+    # user ports) or GMKRC's encoded 64-bit keys (shared kernel ports).
+
+    def send_registered(self, dst_node: int, dst_port: int, key_vaddr: int,
+                        length: int, match: int = 0, tag: Any = None,
+                        meta: Any = None):
+        """Generator: send from memory registered under an encoded key
+        (GMKRC's 64-bit namespace); NIC translation is charged as for any
+        registered-virtual GM send."""
+        self._check_open()
+        region = self.domain.find(key_vaddr, length)
+        if region is None:
+            raise GMError(f"no registration covers key {key_vaddr:#x}+{length}")
+        if self._pending_sends >= GM_SEND_QUEUE_DEPTH:
+            raise GMSendQueueFull(f"port {self.port_id}: {self._pending_sends} pending")
+        sg = self._sg_through_table(region, key_vaddr, length)
+        yield from self.cpu.work(self.costs.host_send_ns)
+        yield from self.cpu.work(self.node.nic.doorbell_time_ns())
+        self._pending_sends += 1
+        desc = SendDescriptor(
+            dst_nic=dst_node,
+            dst_port=dst_port,
+            match=match,
+            size=length,
+            src_port=self.port_id,
+            sg=sg,
+            translate_tx=True,
+            fw_send_ns=self.costs.fw_send_ns,
+            tag=tag,
+            meta=meta,
+        )
+        completion = self.node.nic.submit(desc)
+        completion.add_callback(lambda ev: self._on_send_completion(ev.value))
+
+    def provide_receive_buffer_registered(self, key_vaddr: int, length: int,
+                                          match: Optional[int] = None,
+                                          tag: Any = None):
+        """Generator: post a receive into memory registered under an
+        encoded key (translation charged on the receive side)."""
+        self._check_open()
+        region = self.domain.find(key_vaddr, length)
+        if region is None:
+            raise GMError(f"no registration covers key {key_vaddr:#x}+{length}")
+        sg = self._sg_through_table(region, key_vaddr, length)
+        yield from self.cpu.work(self.costs.host_recv_post_ns)
+        self.nic_port.post_receive(
+            PostedReceive(
+                match=match,
+                capacity=length,
+                dest_sg=sg,
+                translate_rx=True,
+                tag=tag,
+            )
+        )
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        """gm_close: drop registrations (translations die with the port)."""
+        if not self._open:
+            return
+        self._open = False
+        self.domain.teardown()
+        self.nic_port.close()
+
+    def _check_open(self) -> None:
+        if not self._open:
+            raise GMError(f"port {self.port_id} is closed")

@@ -1,0 +1,177 @@
+"""GM memory registration: pinning + NIC translation-table installs.
+
+``gm_register_memory`` pins the pages of a virtual range and installs
+their translations in the NIC table; ``gm_deregister_memory`` undoes it.
+Costs follow the paper's measurements (section 2.2.2, figure 1(b)):
+~3 us per page to register, plus a ~200 us base for deregistration —
+which is why "this model is only interesting for large memory zones
+that are used several times" and why pin-down caches exist.
+
+A :class:`RegistrationDomain` owns the regions of one translation
+context (one port, or one GMKRC shared port).  Registration keys are
+*virtual* page numbers: the same key namespace GMKRC later extends with
+address-space descriptors in the high bits (:mod:`repro.gmkrc.spaces`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import GMRegistrationError
+from ..hw.cpu import Cpu
+from ..mem.addrspace import AddressSpace
+from ..mem.kmem import KernelSpace
+from ..mem.phys import Frame
+from ..nicfw.transtable import TranslationTable
+from ..hw.params import GM_REGISTRATION
+from ..units import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, pages_spanned
+
+
+@dataclass
+class GmRegion:
+    """One registered virtual range."""
+
+    context: int
+    vaddr: int  # page-aligned base (possibly an encoded 64-bit key)
+    npages: int
+    frames: list[Frame]
+    key_base_vpn: int  # vpn namespace used in the translation table
+    active: bool = True
+
+    @property
+    def length(self) -> int:
+        return self.npages * PAGE_SIZE
+
+    @property
+    def end(self) -> int:
+        return self.vaddr + self.length
+
+    def covers(self, vaddr: int, length: int) -> bool:
+        return self.active and self.vaddr <= vaddr and vaddr + length <= self.end
+
+
+class RegistrationDomain:
+    """Registration state for one translation context on one NIC."""
+
+    def __init__(self, cpu: Cpu, table: TranslationTable, context: int):
+        self.cpu = cpu
+        self.table = table
+        self.context = context
+        self._regions: list[GmRegion] = []
+        self.registered_pages = 0
+        self.register_calls = 0
+        self.deregister_calls = 0
+
+    # -- cost helpers -----------------------------------------------------------
+
+    @staticmethod
+    def register_cost_ns(npages: int) -> int:
+        p = GM_REGISTRATION
+        return p.register_base_ns + p.register_per_page_ns * npages
+
+    @staticmethod
+    def deregister_cost_ns(npages: int) -> int:
+        p = GM_REGISTRATION
+        return p.deregister_base_ns + p.deregister_per_page_ns * npages
+
+    # -- operations ---------------------------------------------------------------
+
+    def register_user(self, space: AddressSpace, vaddr: int, length: int,
+                      key_vaddr: Optional[int] = None):
+        """Generator: register a user-virtual range.
+
+        Pins the pages (get_user_pages), charges the registration cost
+        and installs one translation entry per page.  ``key_vaddr``
+        optionally decouples the table key namespace from the real
+        virtual address — the hook GMKRC's encoded 64-bit keys use.
+        """
+        base = vaddr & ~PAGE_MASK
+        npages = pages_spanned(vaddr, length)
+        if npages == 0:
+            raise GMRegistrationError("cannot register an empty range")
+        if self.find(key_vaddr if key_vaddr is not None else vaddr, length):
+            raise GMRegistrationError(
+                f"range {vaddr:#x}+{length} overlaps an active registration"
+            )
+        frames = space.pin_range(vaddr, length)
+        yield from self.cpu.pin_pages(npages)
+        yield from self.cpu.work(self.register_cost_ns(npages))
+        key_base = ((key_vaddr if key_vaddr is not None else vaddr) & ~PAGE_MASK)
+        key_base_vpn = key_base >> PAGE_SHIFT
+        for i, frame in enumerate(frames):
+            self.table.install(self.context, key_base_vpn + i, frame.pfn)
+        region = GmRegion(self.context, key_base, npages, frames, key_base_vpn)
+        self._regions.append(region)
+        self.registered_pages += npages
+        self.register_calls += 1
+        return region
+
+    def register_kernel(self, kspace: KernelSpace, vaddr: int, length: int):
+        """Generator: register a kernel-virtual range (already pinned)."""
+        base = vaddr & ~PAGE_MASK
+        npages = pages_spanned(vaddr, length)
+        if npages == 0:
+            raise GMRegistrationError("cannot register an empty range")
+        yield from self.cpu.work(self.register_cost_ns(npages))
+        frames = []
+        key_base_vpn = base >> PAGE_SHIFT
+        for i in range(npages):
+            phys = kspace.translate(base + i * PAGE_SIZE)
+            pfn = phys >> PAGE_SHIFT
+            self.table.install(self.context, key_base_vpn + i, pfn)
+            frames.append(kspace.phys.frame(pfn))
+        region = GmRegion(self.context, base, npages, frames, key_base_vpn)
+        self._regions.append(region)
+        self.registered_pages += npages
+        self.register_calls += 1
+        return region
+
+    def deregister(self, region: GmRegion, unpin: bool = True):
+        """Generator: remove a region's translations and (for user
+        registrations) drop the pins."""
+        if not region.active:
+            raise GMRegistrationError("region already deregistered")
+        yield from self.cpu.work(self.deregister_cost_ns(region.npages))
+        self.remove_silently(region, unpin=unpin)
+
+    def remove_silently(self, region: GmRegion, unpin: bool = True) -> None:
+        """Tear a region down without charging the deregistration cost.
+
+        Used when the translations are already gone for free (port
+        close, address-space death) or when the caller accounts the cost
+        itself.
+        """
+        if not region.active:
+            return
+        region.active = False
+        for i in range(region.npages):
+            if self.table.has(self.context, region.key_base_vpn + i):
+                self.table.remove(self.context, region.key_base_vpn + i)
+        if unpin:
+            for frame in region.frames:
+                frame.unpin()
+        self._regions.remove(region)
+        self.registered_pages -= region.npages
+        self.deregister_calls += 1
+
+    # -- queries --------------------------------------------------------------------
+
+    def find(self, vaddr: int, length: int) -> Optional[GmRegion]:
+        """The active region covering [vaddr, vaddr+length), if any.
+
+        ``vaddr`` is in the *key* namespace (identical to the virtual
+        address except under GMKRC encoding).
+        """
+        for region in self._regions:
+            if region.covers(vaddr, length):
+                return region
+        return None
+
+    def regions(self) -> list[GmRegion]:
+        return list(self._regions)
+
+    def teardown(self) -> None:
+        """Drop everything (port close): free on real GM, no dereg cost."""
+        for region in list(self._regions):
+            self.remove_silently(region)

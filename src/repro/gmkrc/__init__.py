@@ -1,0 +1,21 @@
+"""GMKRC: the GM Kernel Registration Cache (paper section 3.2).
+
+A pin-down cache [Tezuka et al. 98] living in the kernel: registrations
+are kept after use and deregistration is delayed until page pressure,
+so re-used buffers skip the ~3 us/page registration and the ~200 us
+deregistration entirely.  Coherence with the owning process's address
+space is maintained by VMA SPY notifications (munmap/mprotect/fork
+invalidate overlapping entries *before* the mapping changes).
+
+Because one shared kernel GM port serves many processes, and "GM assumes
+a port can only be used by a single process", GMKRC disambiguates
+colliding virtual addresses by "recompiling the card firmware with 64
+bits pointers on 32 bits host and storing a descriptor of the address
+space in the most significant bits" — :mod:`repro.gmkrc.spaces`
+implements exactly that encoding.
+"""
+
+from .cache import CacheEntry, Gmkrc
+from .spaces import decode_key, encode_key
+
+__all__ = ["CacheEntry", "Gmkrc", "decode_key", "encode_key"]

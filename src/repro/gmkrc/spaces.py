@@ -1,0 +1,39 @@
+"""Address-space descriptors in the high bits of 64-bit pointers.
+
+Paper section 3.2: "Our shared port model prevents the network interface
+card from knowing which address space a given virtual address belongs
+to.  We solved this problem by recompiling the card firmware with 64
+bits pointers on 32 bits host and by storing a descriptor of the address
+space in the most significant bits.  This strategy is transparently
+implemented inside GMKRC so that in-kernel users still pass normal 32
+bits pointers to the GMKRC API."
+
+On the 32-bit host every virtual address fits in the low 32 bits, so the
+upper 32 carry the descriptor (the asid).  The encoding is what GMKRC
+uses as translation-table key namespace; user code never sees it.
+"""
+
+from __future__ import annotations
+
+from ..errors import GMError
+
+_ADDR_BITS = 32
+_ADDR_MASK = (1 << _ADDR_BITS) - 1
+_MAX_ASID = (1 << 31) - 1  # descriptor must itself fit the upper word
+
+
+def encode_key(asid: int, vaddr: int) -> int:
+    """Pack (address-space descriptor, 32-bit virtual address) into a
+    64-bit firmware pointer."""
+    if not 0 < asid <= _MAX_ASID:
+        raise GMError(f"asid {asid} out of descriptor range")
+    if not 0 <= vaddr <= _ADDR_MASK:
+        raise GMError(f"vaddr {vaddr:#x} does not fit a 32-bit host pointer")
+    return (asid << _ADDR_BITS) | vaddr
+
+
+def decode_key(key: int) -> tuple[int, int]:
+    """Unpack a 64-bit firmware pointer into (asid, vaddr)."""
+    if key < 0 or key >= 1 << 64:
+        raise GMError(f"key {key:#x} is not a 64-bit value")
+    return key >> _ADDR_BITS, key & _ADDR_MASK

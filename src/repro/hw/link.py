@@ -1,0 +1,73 @@
+"""Network links: full-duplex, bandwidth-limited, with propagation delay.
+
+A :class:`Link` joins two endpoints (NICs or a NIC and a switch port).
+Each direction is an independent resource, so the paper's "full-duplex"
+ratings hold: simultaneous opposite-direction transfers do not contend.
+Transmission models cut-through: the sender occupies its direction for
+the serialization time; delivery lands ``propagation`` after the last
+byte leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import NetworkError
+from ..sim import Environment, Resource
+from ..units import transfer_time_ns
+from .params import LinkParams
+
+
+class Link:
+    """A point-to-point full-duplex link between endpoints ``a`` and ``b``."""
+
+    def __init__(self, env: Environment, params: LinkParams, name: str = "link"):
+        self.env = env
+        self.params = params
+        self.name = name
+        self._dirs = {
+            "ab": Resource(env, 1, f"{name}.ab"),
+            "ba": Resource(env, 1, f"{name}.ba"),
+        }
+        self._ends: dict[str, Optional[Callable[[Any], None]]] = {"a": None, "b": None}
+        self.bytes_carried = 0
+
+    def attach(self, end: str, deliver: Callable[[Any], None]) -> None:
+        """Connect an endpoint ('a' or 'b'); ``deliver(item)`` is called
+        when a transmission arrives at that end."""
+        if end not in ("a", "b"):
+            raise NetworkError(f"link end must be 'a' or 'b', got {end!r}")
+        if self._ends[end] is not None:
+            raise NetworkError(f"link end {end!r} already attached")
+        self._ends[end] = deliver
+
+    def serialization_ns(self, nbytes: int) -> int:
+        """Time the wire is occupied sending ``nbytes``."""
+        return transfer_time_ns(nbytes, self.params.link_bandwidth)
+
+    def transmit(self, from_end: str, item: Any, nbytes: int):
+        """Generator: send ``item`` of ``nbytes`` from one end to the other.
+
+        Returns (via StopIteration) after the wire is released; delivery
+        at the far end fires ``propagation_ns`` later without blocking
+        the sender (cut-through exit).
+        """
+        if from_end not in ("a", "b"):
+            raise NetworkError(f"from_end must be 'a' or 'b', got {from_end!r}")
+        to_end = "b" if from_end == "a" else "a"
+        deliver = self._ends[to_end]
+        if deliver is None:
+            raise NetworkError(f"link end {to_end!r} has no endpoint attached")
+        direction = self._dirs["ab" if from_end == "a" else "ba"]
+        yield from direction.acquire(self.serialization_ns(nbytes))
+        self.bytes_carried += nbytes
+
+        def _arrive(env):
+            yield env.timeout(self.params.propagation_ns)
+            deliver(item)
+
+        self.env.process(_arrive(self.env), name=f"{self.name}.deliver")
+
+    def utilization(self, direction: str = "ab") -> float:
+        """Busy fraction of one direction ('ab' or 'ba')."""
+        return self._dirs[direction].utilization()

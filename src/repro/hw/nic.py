@@ -1,0 +1,523 @@
+"""The Myrinet NIC: firmware pipeline, DMA, ports, matching, rendezvous.
+
+One :class:`Nic` model serves both GM and MX — as on real hardware,
+where the same LANai chip ran either MCP.  The API layers
+(:mod:`repro.gm`, :mod:`repro.mx`) differ in the *costs* they attach to
+descriptors and ports (:class:`repro.hw.params.ApiCosts`), in addressing
+(GM translates registered virtual addresses in the NIC, MX hands the
+NIC physical addresses), and in message-class strategy (MX's
+PIO/copy/rendezvous split).
+
+Pipeline of an eager message (times from :mod:`repro.hw.params`)::
+
+    host: host_send (CPU)                 | charged by the API layer
+    host->NIC doorbell                    | doorbell_ns
+    firmware send processing              | fw_send_ns (+ translation)
+    DMA setup + gather from host memory   | dma_setup_ns, PCI held
+    cut-through onto the wire             | lag + size/link_bw
+    propagation                           | propagation_ns
+    firmware receive processing           | fw_recv_ns (+ translation)
+    DMA setup + scatter to host memory    | dma_setup_ns
+    completion event                      | host_event (API layer)
+
+Large rendezvous messages exchange real RTS/CTS control messages on the
+simulated wire before the data moves, so the receiver's buffer is known
+and the handshake latency emerges from the same pipeline.
+
+Data is real: if a descriptor carries ``data`` bytes or source segments,
+the bytes are gathered at DMA time and scattered into the receiver's
+segments, so end-to-end tests observe genuine data movement.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..errors import NicError, PortError
+from ..mem.layout import PhysSegment
+from ..mem.phys import PhysicalMemory
+from ..sim import Environment, Event, Resource, Store
+from ..units import transfer_time_ns
+from .link import Link
+from .params import ApiCosts, NicParams
+from ..nicfw.transtable import TranslationTable
+
+
+class MsgKind(enum.Enum):
+    """Wire message types."""
+
+    EAGER = "eager"  # data travels immediately
+    RTS = "rts"  # rendezvous request-to-send (control)
+    CTS = "cts"  # rendezvous clear-to-send (control)
+    RDATA = "rdata"  # rendezvous data (pre-matched at the receiver)
+    FRAG = "frag"  # a non-final packet of a fragmented message
+
+
+@dataclass
+class SendCompletion:
+    """Posted to the sender when its message has left the host."""
+
+    tag: Any
+    size: int
+    finished_at: int
+
+
+@dataclass
+class ReceiveCompletion:
+    """Posted to the receiver when a message landed in its buffer."""
+
+    tag: Any
+    size: int
+    match: int
+    src_nic: int
+    src_port: int
+    data: Optional[bytes]
+    finished_at: int
+    truncated: bool = False
+    meta: Any = None  # sender's out-of-band protocol header
+
+
+@dataclass
+class Message:
+    """What travels on the wire."""
+
+    kind: MsgKind
+    src_nic: int
+    src_port: int
+    dst_nic: int
+    dst_port: int
+    match: int
+    size: int
+    data: Optional[bytes] = None
+    rndv_id: int = 0  # correlates RTS/CTS/RDATA
+    meta: Any = None  # out-of-band protocol header (size included in ``size``)
+    rma_offset: int = 0  # directed sends: byte offset into the target window
+    wire_size: int = 0  # bytes this packet occupies on each wire hop
+
+
+@dataclass
+class SendDescriptor:
+    """Host -> NIC send request (built by the API layers)."""
+
+    dst_nic: int
+    dst_port: int
+    match: int
+    size: int
+    src_port: int = 0
+    sg: Optional[list[PhysSegment]] = None  # gather source (host memory)
+    data: Optional[bytes] = None  # pre-gathered payload (PIO/copy paths)
+    translate_tx: bool = False  # NIC translates source address
+    rendezvous: bool = False
+    large_setup_ns: int = 0  # one-time DMA programming for rendezvous data
+    fw_send_ns: int = 0
+    completion: Optional[Event] = None
+    tag: Any = None
+    meta: Any = None  # out-of-band protocol header carried with the message
+    rma_offset: int = 0  # directed sends: deposit offset in the target window
+
+
+@dataclass
+class PostedReceive:
+    """A receive buffer posted on a port."""
+
+    match: Optional[int]  # None matches anything
+    capacity: int
+    dest_sg: Optional[list[PhysSegment]] = None  # scatter target
+    translate_rx: bool = False  # buffer is registered-virtual: NIC translates
+    keep_data: bool = False  # deliver payload bytes in the completion
+    persistent: bool = False  # RMA window: stays posted across matches
+    completion: Optional[Event] = None
+    tag: Any = None
+
+    def accepts(self, msg_match: int) -> bool:
+        return self.match is None or self.match == msg_match
+
+
+@dataclass
+class _PendingRendezvous:
+    """Receiver-side state between CTS emission and data arrival."""
+
+    recv: PostedReceive
+    size: int
+    match: int
+    src_nic: int
+    src_port: int
+
+
+class NicPort:
+    """One communication endpoint on a NIC (a GM port / MX endpoint)."""
+
+    def __init__(self, nic: "Nic", port_id: int, costs: ApiCosts):
+        self.nic = nic
+        self.port_id = port_id
+        self.costs = costs
+        self.posted: deque[PostedReceive] = deque()
+        self.unexpected: deque[Message] = deque()  # eager msgs w/o a recv
+        self.unexpected_rts: deque[Message] = deque()
+        self.open = True
+        # API layers may subscribe to every completion on this port
+        # (e.g. GM's unified event queue).
+        self.completion_sink: Optional[Callable[[Any], None]] = None
+
+    def post_receive(self, recv: PostedReceive) -> None:
+        """Make a receive buffer available for matching."""
+        if not self.open:
+            raise PortError(f"post_receive on closed port {self.port_id}")
+        # Unexpected traffic is matched in arrival order: RTS entries and
+        # eager messages each keep FIFO order; RTS is served first since
+        # rendezvous senders are stalled waiting for the CTS.
+        for i, rts in enumerate(self.unexpected_rts):
+            if recv.accepts(rts.match):
+                del self.unexpected_rts[i]
+                self.nic._accept_rts(self, rts, recv)
+                return
+        for i, msg in enumerate(self.unexpected):
+            if recv.accepts(msg.match):
+                del self.unexpected[i]
+                self.nic._deliver_to_recv(self, msg, recv, late_match=True)
+                return
+        self.posted.append(recv)
+
+    def _match(self, msg_match: int) -> Optional[PostedReceive]:
+        for i, recv in enumerate(self.posted):
+            if recv.accepts(msg_match):
+                if not recv.persistent:
+                    del self.posted[i]
+                return recv
+        return None
+
+    def close(self) -> None:
+        self.open = False
+        self.posted.clear()
+        self.unexpected.clear()
+        self.unexpected_rts.clear()
+
+
+class Nic:
+    """A Myrinet network interface card attached to one host."""
+
+    _rndv_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        env: Environment,
+        params: NicParams,
+        phys: PhysicalMemory,
+        node_id: int,
+        name: str = "nic",
+    ):
+        self.env = env
+        self.params = params
+        self.phys = phys
+        self.node_id = node_id
+        self.name = name
+        self.fw = Resource(env, 1, f"{name}.fw")  # the LANai processor
+        self.pci = Resource(env, 1, f"{name}.pci")
+        self.transtable = TranslationTable(params.translation_table_entries)
+        self.ports: dict[int, NicPort] = {}
+        self._rx_queue: Store = Store(env, f"{name}.rx")
+        self._link: Optional[Link] = None
+        self._link_end: str = "a"
+        self._pending_rndv: dict[int, _PendingRendezvous] = {}
+        self._stalled_rndv: dict[int, SendDescriptor] = {}
+        self.messages_sent = 0
+        self.messages_received = 0
+        env.process(self._rx_loop(), name=f"{self.name}.rxloop")
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_link(self, link: Link, end: str) -> None:
+        """Plug this NIC into one end of a link."""
+        if self._link is not None:
+            raise NicError(f"{self.name} already attached to a link")
+        self._link = link
+        self._link_end = end
+        link.attach(end, self._on_wire_arrival)
+
+    def open_port(self, port_id: int, costs: ApiCosts) -> NicPort:
+        """Open a communication port with the given API cost profile."""
+        if port_id in self.ports and self.ports[port_id].open:
+            raise PortError(f"port {port_id} already open on {self.name}")
+        port = NicPort(self, port_id, costs)
+        self.ports[port_id] = port
+        return port
+
+    def port(self, port_id: int) -> NicPort:
+        try:
+            port = self.ports[port_id]
+        except KeyError:
+            raise PortError(f"no port {port_id} on {self.name}") from None
+        if not port.open:
+            raise PortError(f"port {port_id} on {self.name} is closed")
+        return port
+
+    # -- host-facing send entry ----------------------------------------------
+
+    def submit(self, desc: SendDescriptor) -> Event:
+        """Submit a send descriptor (the doorbell write has already been
+        charged by the API layer).  Returns the completion event."""
+        if self._link is None:
+            raise NicError(f"{self.name} not attached to a link")
+        if desc.completion is None:
+            desc.completion = self.env.event(f"{self.name}.sendcomp")
+        self.env.process(self._tx_process(desc), name=f"{self.name}.tx")
+        return desc.completion
+
+    # -- transmit path ---------------------------------------------------------
+
+    def _tx_process(self, desc: SendDescriptor):
+        # Firmware picks up the descriptor and does per-message work.
+        fw_time = desc.fw_send_ns
+        if desc.translate_tx:
+            fw_time += self.params.translation_lookup_ns
+        yield from self.fw.acquire(fw_time)
+        if desc.rendezvous:
+            rndv_id = next(Nic._rndv_ids)
+            self._stalled_rndv[rndv_id] = desc
+            rts = Message(
+                kind=MsgKind.RTS,
+                src_nic=self.node_id,
+                src_port=desc.src_port,
+                dst_nic=desc.dst_nic,
+                dst_port=desc.dst_port,
+                match=desc.match,
+                size=desc.size,
+                rndv_id=rndv_id,
+                meta=desc.meta,
+            )
+            yield from self._wire_out(rts, self.params.ctrl_message_bytes)
+            # Data moves later, when the CTS comes back (_on_cts).
+            return
+        yield from self._transmit_data(desc, MsgKind.EAGER, rndv_id=0)
+
+    def _transmit_data(self, desc: SendDescriptor, kind: MsgKind, rndv_id: int):
+        # DMA from host memory: hold the PCI bus while feeding the wire
+        # (cut-through: the wire starts after a small lag, and since PCI
+        # outpaces the link, the wire is the pacing resource).
+        pci_req = self.pci.request()
+        yield pci_req
+        try:
+            if desc.large_setup_ns:
+                yield self.env.timeout(desc.large_setup_ns)
+            yield self.env.timeout(self.params.dma_setup_ns)
+            data = desc.data
+            if data is None and desc.sg is not None:
+                data = b"".join(
+                    self.phys.read_phys(seg.phys_addr, seg.length) for seg in desc.sg
+                )
+            yield self.env.timeout(self.params.link.cut_through_lag_ns)
+            assert self._link is not None
+            # Fragment onto the wire at MTU granularity so switches can
+            # forward packets while later ones still stream in (wormhole
+            # behaviour at packet resolution).  Only the final packet is
+            # a semantic message; FRAG packets pace the wire.
+            mtu = self.params.mtu_bytes
+            remaining = desc.size
+            while remaining > mtu:
+                frag = Message(
+                    kind=MsgKind.FRAG,
+                    src_nic=self.node_id,
+                    src_port=desc.src_port,
+                    dst_nic=desc.dst_nic,
+                    dst_port=desc.dst_port,
+                    match=desc.match,
+                    size=mtu,
+                    wire_size=mtu,
+                )
+                yield from self._link.transmit(self._link_end, frag, mtu)
+                remaining -= mtu
+            msg = Message(
+                kind=kind,
+                src_nic=self.node_id,
+                src_port=desc.src_port,
+                dst_nic=desc.dst_nic,
+                dst_port=desc.dst_port,
+                match=desc.match,
+                size=desc.size,
+                data=data,
+                rndv_id=rndv_id,
+                meta=desc.meta,
+                rma_offset=desc.rma_offset,
+                wire_size=remaining,
+            )
+            yield from self._link.transmit(self._link_end, msg, remaining)
+        finally:
+            pci_req.release()
+        self.messages_sent += 1
+        assert desc.completion is not None
+        desc.completion.succeed(
+            SendCompletion(tag=desc.tag, size=desc.size, finished_at=self.env.now)
+        )
+
+    def _wire_out(self, msg: Message, nbytes: int):
+        """Send a control message (no host DMA)."""
+        assert self._link is not None
+        msg.wire_size = nbytes
+        yield self.env.timeout(self.params.link.cut_through_lag_ns)
+        yield from self._link.transmit(self._link_end, msg, nbytes)
+
+    # -- receive path -----------------------------------------------------------
+
+    def _on_wire_arrival(self, msg: Message) -> None:
+        if msg.dst_nic != self.node_id:
+            raise NicError(
+                f"{self.name} (node {self.node_id}) got message for node {msg.dst_nic}"
+            )
+        self._rx_queue.put(msg)
+
+    def _rx_loop(self):
+        while True:
+            msg = yield self._rx_queue.get()
+            if msg.kind is MsgKind.FRAG:
+                # Pacing packet of a fragmented message: the semantic
+                # message (and all per-message costs) ride the final one.
+                continue
+            if msg.kind is MsgKind.CTS:
+                yield from self.fw.acquire(self._ctrl_fw_cost(msg))
+                self._on_cts(msg)
+                continue
+            port = self.ports.get(msg.dst_port)
+            if port is None or not port.open:
+                # Message to nowhere: real GM raises an error event at the
+                # sender; dropping here keeps the model simple and loud in
+                # tests via the counters.
+                continue
+            costs = port.costs
+            if msg.kind is MsgKind.RTS:
+                yield from self.fw.acquire(costs.fw_recv_ns)
+                recv = port._match(msg.match)
+                if recv is None:
+                    port.unexpected_rts.append(msg)
+                else:
+                    self._accept_rts(port, msg, recv)
+                continue
+            # EAGER or RDATA
+            yield from self.fw.acquire(costs.fw_recv_ns + self.params.dma_setup_ns)
+            if msg.kind is MsgKind.RDATA:
+                pending = self._pending_rndv.pop(msg.rndv_id, None)
+                if pending is None:
+                    raise NicError(f"RDATA with unknown rendezvous id {msg.rndv_id}")
+                recv = pending.recv
+            else:
+                recv = port._match(msg.match)
+            if recv is None:
+                port.unexpected.append(msg)
+                continue
+            if recv.translate_rx:
+                # The posted buffer is registered-virtual: the NIC looks
+                # up its translation before the deposit DMA (the 0.5 us
+                # the paper's physical primitives save on this side).
+                yield from self.fw.acquire(self.params.translation_lookup_ns)
+            self._complete_receive(port, msg, recv)
+
+    def _ctrl_fw_cost(self, msg: Message) -> int:
+        # Control messages are handled entirely in firmware; charge a
+        # conservative half of the data-path receive cost.
+        desc = self._stalled_rndv.get(msg.rndv_id)
+        fw = desc.fw_send_ns if desc is not None else 500
+        return max(200, fw // 2)
+
+    def _accept_rts(self, port: NicPort, rts: Message, recv: PostedReceive) -> None:
+        """A rendezvous request met a posted receive: emit the CTS."""
+        pending = _PendingRendezvous(
+            recv=recv,
+            size=rts.size,
+            match=rts.match,
+            src_nic=rts.src_nic,
+            src_port=rts.src_port,
+        )
+        self._pending_rndv[rts.rndv_id] = pending
+        cts = Message(
+            kind=MsgKind.CTS,
+            src_nic=self.node_id,
+            src_port=rts.dst_port,
+            dst_nic=rts.src_nic,
+            dst_port=rts.src_port,
+            match=rts.match,
+            size=rts.size,
+            rndv_id=rts.rndv_id,
+        )
+
+        def _send_cts(env):
+            yield from self.fw.acquire(port.costs.fw_send_ns // 2)
+            yield from self._wire_out(cts, self.params.ctrl_message_bytes)
+
+        self.env.process(_send_cts(self.env), name=f"{self.name}.cts")
+
+    def _on_cts(self, cts: Message) -> None:
+        desc = self._stalled_rndv.pop(cts.rndv_id, None)
+        if desc is None:
+            raise NicError(f"CTS with unknown rendezvous id {cts.rndv_id}")
+        self.env.process(
+            self._transmit_data(desc, MsgKind.RDATA, rndv_id=cts.rndv_id),
+            name=f"{self.name}.rdata",
+        )
+
+    def _deliver_to_recv(
+        self, port: NicPort, msg: Message, recv: PostedReceive, late_match: bool = False
+    ) -> None:
+        """Deliver a buffered unexpected eager message to a late receive."""
+        self._complete_receive(port, msg, recv)
+
+    def _complete_receive(
+        self, port: NicPort, msg: Message, recv: PostedReceive
+    ) -> None:
+        if msg.rma_offset and msg.rma_offset + msg.size > recv.capacity:
+            raise NicError(
+                f"directed send past the window end: offset {msg.rma_offset} "
+                f"+ size {msg.size} > capacity {recv.capacity}"
+            )
+        truncated = msg.size > recv.capacity
+        nbytes = min(msg.size, recv.capacity)
+        if msg.data is not None and recv.dest_sg is not None:
+            view = memoryview(msg.data)[:nbytes]
+            skip = msg.rma_offset
+            for seg in recv.dest_sg:
+                if not view:
+                    break
+                if skip >= seg.length:
+                    skip -= seg.length
+                    continue
+                chunk = min(seg.length - skip, len(view))
+                self.phys.write_phys(seg.phys_addr + skip, bytes(view[:chunk]))
+                view = view[chunk:]
+                skip = 0
+        completion = ReceiveCompletion(
+            tag=recv.tag,
+            size=nbytes,
+            match=msg.match,
+            src_nic=msg.src_nic,
+            src_port=msg.src_port,
+            data=msg.data[:nbytes] if (recv.keep_data and msg.data is not None) else None,
+            finished_at=self.env.now,
+            truncated=truncated,
+            meta=msg.meta,
+        )
+        self.messages_received += 1
+        if recv.completion is not None and not recv.persistent:
+            recv.completion.succeed(completion)
+        if port.completion_sink is not None and not recv.persistent:
+            # RMA deposits are silent at the target (GM directed-send
+            # semantics): no event is raised for persistent windows.
+            port.completion_sink(completion)
+
+    # -- host-side convenience (used by API layers) --------------------------
+
+    def doorbell_time_ns(self) -> int:
+        return self.params.doorbell_ns
+
+    def eager_one_way_floor_ns(self, size: int) -> int:
+        """Analytic lower bound of the fabric time for an eager message
+        (useful in tests as a sanity reference, not used by the model)."""
+        p = self.params
+        return (
+            p.doorbell_ns
+            + 2 * p.dma_setup_ns
+            + p.link.cut_through_lag_ns
+            + transfer_time_ns(size, p.link.link_bandwidth)
+            + p.link.propagation_ns
+        )

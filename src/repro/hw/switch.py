@@ -1,0 +1,59 @@
+"""A crossbar switch for multi-node topologies.
+
+The paper's experiments are two-node, but ORFS serves multiple clients
+and the examples build small clusters, so a switch is provided.  Each
+node connects to the switch by its own full-duplex :class:`Link`; the
+switch forwards by destination node id with a small crossing cost
+(cut-through, one arbitration per message).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import NetworkError
+from ..sim import Environment
+from .link import Link
+from .params import LinkParams
+
+
+class Switch:
+    """Crossbar switch: one link per attached node, routed by node id."""
+
+    def __init__(self, env: Environment, link_params: LinkParams,
+                 crossing_ns: int = 300, name: str = "switch"):
+        self.env = env
+        self.link_params = link_params
+        self.crossing_ns = crossing_ns
+        self.name = name
+        self._links: dict[int, Link] = {}  # node id -> link to that node
+
+    def add_node(self, node_id: int) -> tuple[Link, str]:
+        """Create the link for ``node_id``.
+
+        Returns ``(link, nic_end)``: the NIC should attach to ``nic_end``
+        of the returned link; the switch holds the other end.
+        """
+        if node_id in self._links:
+            raise NetworkError(f"node {node_id} already attached to {self.name}")
+        link = Link(self.env, self.link_params, name=f"{self.name}.l{node_id}")
+        link.attach("a", self._make_ingress(node_id))
+        self._links[node_id] = link
+        return link, "b"
+
+    def _make_ingress(self, from_node: int):
+        def ingress(msg: Any) -> None:
+            self.env.process(self._forward(msg), name=f"{self.name}.fwd")
+
+        return ingress
+
+    def _forward(self, msg: Any):
+        dst = getattr(msg, "dst_nic", None)
+        if dst is None:
+            raise NetworkError(f"{self.name} cannot route message without dst_nic")
+        out = self._links.get(dst)
+        if out is None:
+            raise NetworkError(f"{self.name} has no port for node {dst}")
+        yield self.env.timeout(self.crossing_ns)
+        nbytes = getattr(msg, "wire_size", 0) or max(1, getattr(msg, "size", 1))
+        yield from out.transmit("a", msg, nbytes)

@@ -1,0 +1,36 @@
+"""The operating-system substrate: page cache, VFS, VMA SPY, kthreads.
+
+This package models the Linux 2.4 machinery the paper's in-kernel
+applications live in:
+
+* :mod:`repro.kernel.pagecache` — per-inode page cache whose pages are
+  *pinned physical frames not mapped in virtual memory*, the property
+  that makes memory registration the wrong tool for buffered file access
+  (paper section 2.3.1).
+* :mod:`repro.kernel.vfs` — inodes, dentry cache, file descriptors, and
+  the generic buffered/direct read-write paths that a filesystem client
+  (ORFS, or the local :mod:`repro.kernel.memfs`) plugs into.
+* :mod:`repro.kernel.vmaspy` — the paper's generic infrastructure for
+  notifying kernel modules of address-space modifications (section 3.2),
+  built over :class:`repro.mem.AddressSpace` listeners.
+* :mod:`repro.kernel.threads` — kernel threads with wakeup latency, the
+  mechanism whose cost burdens SOCKETS-GM (section 5.3).
+"""
+
+from .memfs import MemFs
+from .pagecache import PageCache
+from .threads import KernelThread
+from .vfs import FileSystemOps, OpenFlags, Vfs
+from .vmaspy import VmaSpy
+from .writeback import WritebackDaemon
+
+__all__ = [
+    "FileSystemOps",
+    "KernelThread",
+    "MemFs",
+    "OpenFlags",
+    "PageCache",
+    "Vfs",
+    "VmaSpy",
+    "WritebackDaemon",
+]

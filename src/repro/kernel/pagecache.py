@@ -1,0 +1,132 @@
+"""The page cache: per-inode radix tree of resident, pinned frames.
+
+Models the property the paper's buffered-access argument rests on
+(section 2.3.1): "Pages of the page-cache are already locked in physical
+memory and generally not mapped in virtual memory.  But, their physical
+address is easy to obtain since a distributed file system client runs in
+a kernel context."  Accordingly, cache pages here are raw
+:class:`repro.mem.Frame` objects with a pin reference and *no* virtual
+mapping — the only sensible way to hand them to a NIC is by physical
+address, which is exactly what the paper adds to GM and designs into MX.
+
+Eviction is global LRU over clean pages, bounded by ``max_pages``.
+Dirty pages must be written back (by the owning filesystem) before they
+become evictable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import KernelError
+from ..mem.phys import Frame, PhysicalMemory
+
+
+@dataclass
+class CachedPage:
+    """One resident page of one file."""
+
+    inode_id: int
+    index: int  # page index within the file
+    frame: Frame
+    dirty: bool = False
+    uptodate: bool = False  # filled from backing store / server
+    # Page lock: while one context fills the page, concurrent readers
+    # wait on this event instead of issuing duplicate backing reads
+    # (lock_page/wait_on_page semantics).
+    fill_event: object = None
+
+
+class PageCache:
+    """Global page cache over all inodes of one node's kernel."""
+
+    def __init__(self, phys: PhysicalMemory, max_pages: int = 65536):
+        if max_pages < 1:
+            raise ValueError(f"max_pages must be >= 1, got {max_pages}")
+        self.phys = phys
+        self.max_pages = max_pages
+        # (inode_id, index) -> CachedPage, in LRU order (oldest first)
+        self._pages: OrderedDict[tuple[int, int], CachedPage] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def find(self, inode_id: int, index: int) -> Optional[CachedPage]:
+        """Look up a page; refreshes its LRU position on hit."""
+        key = (inode_id, index)
+        page = self._pages.get(key)
+        if page is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._pages.move_to_end(key)
+        return page
+
+    def add(self, inode_id: int, index: int) -> CachedPage:
+        """Allocate and insert a fresh (not-uptodate) page.
+
+        The frame is pinned for its whole cache residency.  Raises if
+        the page already exists — callers must ``find`` first.
+        """
+        key = (inode_id, index)
+        if key in self._pages:
+            raise KernelError(f"page {key} already in cache")
+        if len(self._pages) >= self.max_pages:
+            self._evict_one()
+        frame = self.phys.alloc()
+        frame.pin()
+        page = CachedPage(inode_id, index, frame)
+        self._pages[key] = page
+        return page
+
+    def remove(self, inode_id: int, index: int) -> None:
+        """Drop one page (truncate); dirty pages are discarded too."""
+        key = (inode_id, index)
+        page = self._pages.pop(key, None)
+        if page is None:
+            return
+        self._release(page)
+
+    def invalidate_inode(self, inode_id: int) -> int:
+        """Drop every page of one inode; returns how many were dropped.
+
+        Dirty pages are discarded — callers flush first if they care.
+        """
+        victims = [k for k in self._pages if k[0] == inode_id]
+        for key in victims:
+            self._release(self._pages.pop(key))
+        return len(victims)
+
+    def dirty_pages(self, inode_id: Optional[int] = None) -> list[CachedPage]:
+        """All dirty pages (optionally of one inode), in index order."""
+        pages = [
+            p
+            for p in self._pages.values()
+            if p.dirty and (inode_id is None or p.inode_id == inode_id)
+        ]
+        return sorted(pages, key=lambda p: (p.inode_id, p.index))
+
+    def _evict_one(self) -> None:
+        for key, page in self._pages.items():
+            if not page.dirty:
+                del self._pages[key]
+                self._release(page)
+                self.evictions += 1
+                return
+        raise KernelError(
+            "page cache full of dirty pages — writeback must run first"
+        )
+
+    def _release(self, page: CachedPage) -> None:
+        page.frame.unpin()
+        if not page.frame.pinned:
+            self.phys.free(page.frame)
+
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,40 @@
+"""Memory subsystem: physical frames, address spaces, pinning, scatter/gather.
+
+This is the substrate the whole paper argues about.  The key states a
+page can be in — mapped in a user address space, mapped in kernel
+virtual memory, unmapped but resident (page-cache pages), pinned for
+DMA — are all first-class here:
+
+* :class:`PhysicalMemory` hands out frames (page-sized) that back real
+  bytes, so data transferred by the simulated NIC is genuinely moved and
+  end-to-end correctness is testable.
+* :class:`AddressSpace` models a process address space: VMAs created by
+  ``mmap``, demand-paged population, ``munmap``/``mprotect``/``fork``
+  with change-notification hooks (the basis of the paper's VMA SPY).
+* :class:`KernelSpace` models kernel virtual memory with ``kmalloc``
+  (physically contiguous) and ``vmalloc`` (virtually contiguous only).
+* :mod:`repro.mem.layout` builds the scatter/gather lists a DMA engine
+  consumes, merging physically contiguous runs (which is what makes the
+  MX send-copy-removal optimization applicable to kmalloc'ed buffers but
+  segment-per-page for vmalloc/user buffers).
+"""
+
+from .addrspace import VMA, AddressSpace, AddressSpaceChange, Prot
+from .kmem import KernelAllocation, KernelSpace
+from .layout import PhysSegment, sg_from_frames, sg_from_kernel, sg_from_user
+from .phys import Frame, PhysicalMemory
+
+__all__ = [
+    "VMA",
+    "AddressSpace",
+    "AddressSpaceChange",
+    "Frame",
+    "KernelAllocation",
+    "KernelSpace",
+    "PhysSegment",
+    "PhysicalMemory",
+    "Prot",
+    "sg_from_frames",
+    "sg_from_kernel",
+    "sg_from_user",
+]

@@ -1,0 +1,130 @@
+"""Kernel virtual memory: kmalloc (contiguous) and vmalloc (scattered).
+
+Kernel virtual addresses live above ``KERNEL_BASE`` (3 GB, the classic
+32-bit Linux split), disjoint from user VAs.  The distinction the MX API
+cares about (paper section 4.2) is:
+
+* **kmalloc** memory is physically contiguous — a multi-page buffer is
+  one DMA segment, which is what makes the send-copy-removal
+  optimization pay off for up to 8 contiguous pages.
+* **vmalloc** memory is only virtually contiguous — each page is a
+  separate physical segment, requiring vectorial primitives.
+
+Kernel pages are allocated resident (no demand paging) and are
+effectively pinned from birth: the allocator takes a pin reference on
+every frame so DMA from kernel buffers never needs get_user_pages, which
+is exactly why the paper's *kernel virtual* address type is cheaper than
+*user virtual*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import BadAddress
+from ..units import PAGE_MASK, PAGE_SIZE, page_align_up
+from .phys import Frame, PhysicalMemory
+
+KERNEL_BASE = 0xC000_0000  # 3 GB: start of kernel virtual addresses
+
+
+@dataclass
+class KernelAllocation:
+    """One kernel allocation: VA range plus its backing frames in order."""
+
+    vaddr: int
+    length: int
+    frames: list[Frame] = field(default_factory=list)
+    contiguous: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.vaddr + self.length
+
+
+class KernelSpace:
+    """Kernel virtual address allocator over a :class:`PhysicalMemory`."""
+
+    def __init__(self, phys: PhysicalMemory):
+        self.phys = phys
+        self._next_va = KERNEL_BASE
+        self._allocs: dict[int, KernelAllocation] = {}  # base va -> alloc
+
+    @staticmethod
+    def is_kernel_address(vaddr: int) -> bool:
+        """True for addresses in the kernel half of the address space."""
+        return vaddr >= KERNEL_BASE
+
+    def kmalloc(self, length: int) -> KernelAllocation:
+        """Allocate physically contiguous, resident, pinned kernel memory."""
+        return self._alloc(length, contiguous=True)
+
+    def vmalloc(self, length: int) -> KernelAllocation:
+        """Allocate virtually contiguous kernel memory (scattered frames)."""
+        return self._alloc(length, contiguous=False)
+
+    def kfree(self, alloc: KernelAllocation) -> None:
+        """Free a kernel allocation and its frames."""
+        if alloc.vaddr not in self._allocs:
+            raise BadAddress(f"kfree of unknown allocation at {alloc.vaddr:#x}")
+        del self._allocs[alloc.vaddr]
+        for frame in alloc.frames:
+            frame.unpin()
+            if not frame.pinned:
+                self.phys.free(frame)
+
+    def _alloc(self, length: int, contiguous: bool) -> KernelAllocation:
+        if length <= 0:
+            raise ValueError(f"allocation length must be positive, got {length}")
+        nbytes = page_align_up(length)
+        npages = nbytes // PAGE_SIZE
+        if contiguous:
+            frames = self.phys.alloc_contiguous(npages)
+        else:
+            frames = [self.phys.alloc() for _ in range(npages)]
+        for frame in frames:
+            frame.pin()  # kernel memory is born pinned
+        vaddr = self._next_va
+        self._next_va += nbytes
+        alloc = KernelAllocation(vaddr, length, frames, contiguous)
+        self._allocs[vaddr] = alloc
+        return alloc
+
+    # -- translation / access ----------------------------------------------
+
+    def find_allocation(self, vaddr: int) -> KernelAllocation:
+        """The allocation containing ``vaddr`` (linear scan; small N)."""
+        for alloc in self._allocs.values():
+            if alloc.vaddr <= vaddr < alloc.vaddr + page_align_up(alloc.length):
+                return alloc
+        raise BadAddress(f"kernel address {vaddr:#x} not allocated")
+
+    def translate(self, vaddr: int) -> int:
+        """Kernel VA -> physical address."""
+        alloc = self.find_allocation(vaddr)
+        page_index = (vaddr - alloc.vaddr) >> 12
+        return alloc.frames[page_index].phys_addr | (vaddr & PAGE_MASK)
+
+    def write_bytes(self, vaddr: int, data: bytes) -> None:
+        """Store ``data`` at a kernel virtual address."""
+        view = memoryview(data)
+        addr = vaddr
+        while view:
+            phys = self.translate(addr)
+            chunk = min(len(view), PAGE_SIZE - (phys & PAGE_MASK))
+            self.phys.write_phys(phys, bytes(view[:chunk]))
+            addr += chunk
+            view = view[chunk:]
+
+    def read_bytes(self, vaddr: int, length: int) -> bytes:
+        """Load ``length`` bytes from a kernel virtual address."""
+        out = bytearray()
+        addr = vaddr
+        remaining = length
+        while remaining > 0:
+            phys = self.translate(addr)
+            chunk = min(remaining, PAGE_SIZE - (phys & PAGE_MASK))
+            out += self.phys.read_phys(phys, chunk)
+            addr += chunk
+            remaining -= chunk
+        return bytes(out)

@@ -1,0 +1,123 @@
+"""Scatter/gather construction: turning buffers into DMA-able segments.
+
+A :class:`PhysSegment` is what a DMA engine consumes: (physical address,
+length).  The three builders correspond to the three memory-address
+types of the MX kernel API (paper section 4.2):
+
+* :func:`sg_from_user` — *user virtual*: walk the page table (pages must
+  be present, i.e. pinned first), one segment per physically contiguous
+  run.
+* :func:`sg_from_kernel` — *kernel virtual*: translate through the
+  kernel allocator; kmalloc buffers collapse to one segment.
+* :func:`sg_from_frames` — *physical*: the caller already has frames
+  (page-cache pages); no translation at all.
+
+Adjacent physically contiguous pieces are merged, which is the property
+the paper's send-copy-removal exploits ("up to 8 physically contiguous
+pages" fit MX's medium-message path as one segment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import PAGE_MASK, PAGE_SIZE
+from .addrspace import AddressSpace
+from .kmem import KernelSpace
+from .phys import Frame
+
+
+@dataclass(frozen=True)
+class PhysSegment:
+    """One physically contiguous piece of a transfer."""
+
+    phys_addr: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.phys_addr + self.length
+
+
+def _merge(segments: list[PhysSegment]) -> list[PhysSegment]:
+    """Coalesce adjacent segments into maximal contiguous runs."""
+    merged: list[PhysSegment] = []
+    for seg in segments:
+        if merged and merged[-1].end == seg.phys_addr:
+            prev = merged.pop()
+            merged.append(PhysSegment(prev.phys_addr, prev.length + seg.length))
+        else:
+            merged.append(seg)
+    return merged
+
+
+def sg_from_user(space: AddressSpace, vaddr: int, length: int) -> list[PhysSegment]:
+    """Scatter/gather list for a user-virtual range.
+
+    Pages must be resident — callers pin first (``pin_range``), exactly
+    as a driver must call get_user_pages before building an sg list.
+    ``fault_in=False`` enforces this: hitting a non-present page here is
+    a driver bug, not a recoverable fault.
+    """
+    if length <= 0:
+        return []
+    segments: list[PhysSegment] = []
+    addr = vaddr
+    remaining = length
+    while remaining > 0:
+        phys = space.translate(addr, fault_in=False)
+        chunk = min(remaining, PAGE_SIZE - (phys & PAGE_MASK))
+        segments.append(PhysSegment(phys, chunk))
+        addr += chunk
+        remaining -= chunk
+    return _merge(segments)
+
+
+def sg_from_kernel(kspace: KernelSpace, vaddr: int, length: int) -> list[PhysSegment]:
+    """Scatter/gather list for a kernel-virtual range."""
+    if length <= 0:
+        return []
+    segments: list[PhysSegment] = []
+    addr = vaddr
+    remaining = length
+    while remaining > 0:
+        phys = kspace.translate(addr)
+        chunk = min(remaining, PAGE_SIZE - (phys & PAGE_MASK))
+        segments.append(PhysSegment(phys, chunk))
+        addr += chunk
+        remaining -= chunk
+    return _merge(segments)
+
+
+def sg_from_frames(
+    frames: list[Frame], offset: int = 0, length: int | None = None
+) -> list[PhysSegment]:
+    """Scatter/gather list over a frame list (page-cache pages).
+
+    ``offset`` skips into the first frame; ``length`` defaults to the
+    rest of the frame run.  Frames that happen to be physically adjacent
+    merge into one segment.
+    """
+    total = len(frames) * PAGE_SIZE - offset
+    if length is None:
+        length = total
+    if length < 0 or offset < 0 or offset + length > len(frames) * PAGE_SIZE:
+        raise ValueError(
+            f"range offset={offset} length={length} exceeds {len(frames)} frames"
+        )
+    if length == 0:
+        return []
+    segments: list[PhysSegment] = []
+    remaining = length
+    pos = offset
+    for frame in frames:
+        if remaining <= 0:
+            break
+        if pos >= PAGE_SIZE:
+            pos -= PAGE_SIZE
+            continue
+        chunk = min(remaining, PAGE_SIZE - pos)
+        segments.append(PhysSegment(frame.phys_addr + pos, chunk))
+        remaining -= chunk
+        pos = 0
+    return _merge(segments)

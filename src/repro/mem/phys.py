@@ -1,0 +1,175 @@
+"""Physical memory: a frame allocator whose frames back real bytes.
+
+Frames are identified by PFN (page frame number).  A frame's physical
+base address is ``pfn * PAGE_SIZE``; helpers convert both ways.  Byte
+storage is allocated lazily (a frame that is never written costs no
+Python memory), which lets benchmarks simulate multi-gigabyte transfers
+cheaply while correctness tests still see real data.
+
+Pin counts live here, on the frame, because pinning is a property of
+physical pages: both ``get_user_pages`` (user buffers) and the page
+cache (always-resident pages) end up bumping the same counter in Linux.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import OutOfMemory, PinningError
+from ..units import PAGE_SHIFT, PAGE_SIZE
+
+_ZERO_PAGE = bytes(PAGE_SIZE)
+
+
+class Frame:
+    """One physical page frame: PFN, pin count, lazy byte storage."""
+
+    __slots__ = ("pfn", "pin_count", "_data")
+
+    def __init__(self, pfn: int):
+        self.pfn = pfn
+        self.pin_count = 0
+        self._data: Optional[bytearray] = None
+
+    @property
+    def phys_addr(self) -> int:
+        """Physical base address of this frame."""
+        return self.pfn << PAGE_SHIFT
+
+    @property
+    def pinned(self) -> bool:
+        return self.pin_count > 0
+
+    def pin(self) -> None:
+        """Take a pin reference (page cannot be freed/migrated while held)."""
+        self.pin_count += 1
+
+    def unpin(self) -> None:
+        """Drop a pin reference; unbalanced unpin is a caller bug."""
+        if self.pin_count <= 0:
+            raise PinningError(f"unpin of unpinned frame pfn={self.pfn}")
+        self.pin_count -= 1
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset`` within the frame."""
+        self._check_range(offset, length)
+        if self._data is None:
+            return _ZERO_PAGE[offset : offset + length]
+        return bytes(self._data[offset : offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset`` within the frame."""
+        self._check_range(offset, len(data))
+        if self._data is None:
+            self._data = bytearray(PAGE_SIZE)
+        self._data[offset : offset + len(data)] = data
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > PAGE_SIZE:
+            raise ValueError(
+                f"frame access out of range: offset={offset} length={length}"
+            )
+
+
+class PhysicalMemory:
+    """Fixed-size pool of frames with O(1) alloc/free.
+
+    ``alloc_contiguous`` serves kmalloc-style requests needing physically
+    adjacent frames; it scans for the lowest adjacent run, which is
+    plenty for simulation scale.
+    """
+
+    def __init__(self, total_frames: int):
+        if total_frames < 1:
+            raise ValueError(f"need at least 1 frame, got {total_frames}")
+        self.total_frames = total_frames
+        self._frames: dict[int, Frame] = {}
+        self._free: set[int] = set(range(total_frames))
+
+    @property
+    def free_frames(self) -> int:
+        return len(self._free)
+
+    @property
+    def allocated_frames(self) -> int:
+        return self.total_frames - len(self._free)
+
+    def alloc(self) -> Frame:
+        """Allocate one frame (any PFN)."""
+        if not self._free:
+            raise OutOfMemory("no free physical frames")
+        pfn = min(self._free)  # deterministic choice
+        self._free.discard(pfn)
+        frame = Frame(pfn)
+        self._frames[pfn] = frame
+        return frame
+
+    def alloc_contiguous(self, count: int) -> list[Frame]:
+        """Allocate ``count`` physically adjacent frames (kmalloc model)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if count > len(self._free):
+            raise OutOfMemory(f"need {count} frames, only {len(self._free)} free")
+        candidates = sorted(self._free)
+        run_start = 0
+        for i in range(1, len(candidates) + 1):
+            if i == len(candidates) or candidates[i] != candidates[i - 1] + 1:
+                if i - run_start >= count:
+                    pfns = candidates[run_start : run_start + count]
+                    frames = []
+                    for pfn in pfns:
+                        self._free.discard(pfn)
+                        frame = Frame(pfn)
+                        self._frames[pfn] = frame
+                        frames.append(frame)
+                    return frames
+                run_start = i
+        raise OutOfMemory(f"no physically contiguous run of {count} frames")
+
+    def free(self, frame: Frame) -> None:
+        """Return a frame to the pool; pinned frames cannot be freed."""
+        if frame.pinned:
+            raise PinningError(f"freeing pinned frame pfn={frame.pfn}")
+        if frame.pfn not in self._frames:
+            raise ValueError(f"double free of frame pfn={frame.pfn}")
+        del self._frames[frame.pfn]
+        self._free.add(frame.pfn)
+
+    def frame(self, pfn: int) -> Frame:
+        """Look up an allocated frame by PFN."""
+        try:
+            return self._frames[pfn]
+        except KeyError:
+            raise ValueError(f"pfn {pfn} is not an allocated frame") from None
+
+    def frame_at_phys(self, phys_addr: int) -> Frame:
+        """Look up the allocated frame containing physical address."""
+        return self.frame(phys_addr >> PAGE_SHIFT)
+
+    # -- raw physical-address data access (what a DMA engine does) --------
+
+    def read_phys(self, phys_addr: int, length: int) -> bytes:
+        """Read bytes starting at a physical address, crossing frames."""
+        out = bytearray()
+        addr = phys_addr
+        remaining = length
+        while remaining > 0:
+            frame = self.frame(addr >> PAGE_SHIFT)
+            offset = addr & (PAGE_SIZE - 1)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            out += frame.read(offset, chunk)
+            addr += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write_phys(self, phys_addr: int, data: bytes) -> None:
+        """Write bytes starting at a physical address, crossing frames."""
+        addr = phys_addr
+        view = memoryview(data)
+        while view:
+            frame = self.frame(addr >> PAGE_SHIFT)
+            offset = addr & (PAGE_SIZE - 1)
+            chunk = min(len(view), PAGE_SIZE - offset)
+            frame.write(offset, bytes(view[:chunk]))
+            addr += chunk
+            view = view[chunk:]

@@ -1,0 +1,27 @@
+"""MX (Myrinet Express): the next-generation Myrinet interface.
+
+Models MX as the paper co-designed it (section 4.2), including the
+kernel API the authors contributed upstream:
+
+* :class:`MxEndpoint` — isend/irecv with integer match bits, request
+  objects, and flexible completion (``test``, ``wait``, ``wait_any``) —
+  the notification flexibility ORFS and SOCKETS-MX benefit from.
+* **Vectorial segments** with explicit memory types
+  (:class:`MxSegment`): *user virtual* (MX pins and translates),
+  *kernel virtual* (already pinned, translate only), *physical* (caller
+  pinned) — the paper's three-address-type design.
+* **Message classes** (section 5.1): small messages (<=128 B) go by
+  programmed I/O; medium messages (to 32 kB) are copied through
+  pre-registered bounce buffers on both sides; large messages use an
+  RTS/CTS rendezvous with internal pinning.
+* **Copy removal**: ``no_send_copy=True`` sends physically resolvable
+  medium messages straight from their segments (+17 % at 32 kB,
+  figure 6); ``no_recv_copy=True`` models the *predicted* receive-side
+  removal (impossible on the real 2005 hardware because "the NIC does
+  not know the address of the receive buffer").
+"""
+
+from .api import MxEndpoint, MxRequest
+from .memtypes import MemType, MxSegment
+
+__all__ = ["MemType", "MxEndpoint", "MxRequest", "MxSegment"]

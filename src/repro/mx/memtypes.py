@@ -1,0 +1,94 @@
+"""MX memory-address types and vectorial segment descriptors.
+
+Paper section 4.2: "Its in-kernel API proposes a native and optimized
+support for different types of memory addressing.  The application has
+to pass this type of address to MX:
+
+* User virtual: MX pins the target zones and translates their addresses
+  into physical addresses.
+* Kernel virtual: These zones are often already pinned.  MX just has to
+  translate addresses.
+* Physical: The application is responsible for pinning memory if needed."
+
+The explicit type also resolves the ambiguity the paper highlights:
+user and kernel spaces "contain same virtual addresses pointing to
+different physical locations", so the network layer cannot guess.
+
+An MX transfer is a *vector* of segments (GM has no equivalent —
+section 4.1 argues this is what multi-page page-cache transfers need).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import MXBadSegment
+from ..mem.addrspace import AddressSpace
+from ..mem.layout import PhysSegment
+
+
+class MemType(enum.Enum):
+    """The three address types of the MX kernel API."""
+
+    USER_VIRTUAL = "user"
+    KERNEL_VIRTUAL = "kernel"
+    PHYSICAL = "physical"
+
+
+@dataclass(frozen=True)
+class MxSegment:
+    """One element of a vectorial MX transfer.
+
+    Use the class methods; the constructor field mix depends on type:
+
+    * ``MxSegment.user(space, vaddr, length)``
+    * ``MxSegment.kernel(vaddr, length)`` — resolved against the
+      endpoint node's kernel space
+    * ``MxSegment.physical(sg)`` — already-physical pieces
+    """
+
+    kind: MemType
+    length: int
+    space: Optional[AddressSpace] = None
+    vaddr: int = 0
+    sg: Optional[tuple[PhysSegment, ...]] = None
+
+    @classmethod
+    def user(cls, space: AddressSpace, vaddr: int, length: int) -> "MxSegment":
+        if length <= 0:
+            raise MXBadSegment(f"user segment length must be positive, got {length}")
+        if space is None:
+            raise MXBadSegment("user segment needs its address space")
+        return cls(kind=MemType.USER_VIRTUAL, length=length, space=space, vaddr=vaddr)
+
+    @classmethod
+    def kernel(cls, vaddr: int, length: int) -> "MxSegment":
+        if length <= 0:
+            raise MXBadSegment(f"kernel segment length must be positive, got {length}")
+        return cls(kind=MemType.KERNEL_VIRTUAL, length=length, vaddr=vaddr)
+
+    @classmethod
+    def physical(cls, sg: Sequence[PhysSegment]) -> "MxSegment":
+        sg = tuple(sg)
+        if not sg:
+            raise MXBadSegment("physical segment needs at least one piece")
+        total = sum(p.length for p in sg)
+        return cls(kind=MemType.PHYSICAL, length=total, sg=sg)
+
+
+def total_length(segments: Sequence[MxSegment]) -> int:
+    """Byte length of a vectorial transfer."""
+    return sum(s.length for s in segments)
+
+
+def user_pages(segments: Sequence[MxSegment]) -> int:
+    """How many user pages an MX-internal pin would touch."""
+    from ..units import pages_spanned
+
+    return sum(
+        pages_spanned(s.vaddr, s.length)
+        for s in segments
+        if s.kind is MemType.USER_VIRTUAL
+    )

@@ -1,0 +1,28 @@
+"""ORFA: the paper's Optimized Remote File-system Access protocol.
+
+The experimentation protocol of section 3.1, optimizing point-to-point
+communication between a file-access client and a server:
+
+* :mod:`repro.orfa.protocol` — the request/reply wire protocol;
+* :mod:`repro.orfa.server` — the server (figure 2): a user-space
+  process answering requests from an in-memory ext2 stand-in
+  (:class:`repro.kernel.MemFs`), over either GM or MX;
+* :mod:`repro.orfa.client` — the *user-space* ORFA client (figure
+  2(a)): a library that transparently intercepts file calls, with its
+  own user-level registration cache on GM.
+
+The in-kernel client (ORFS, figure 2(b)) lives in :mod:`repro.orfs`.
+"""
+
+from .client import OrfaClient
+from .protocol import OrfaOp, OrfaReply, OrfaRequest, REQUEST_WIRE_BYTES
+from .server import OrfaServer
+
+__all__ = [
+    "OrfaClient",
+    "OrfaOp",
+    "OrfaReply",
+    "OrfaRequest",
+    "OrfaServer",
+    "REQUEST_WIRE_BYTES",
+]

@@ -1,0 +1,324 @@
+"""The ORFA user-space client: a library intercepting remote file access.
+
+Figure 2(a): "a user-space library transparently intercepting all remote
+file access" [GP04b].  Each file operation costs a library interception
+(cheap — no syscall, no VFS), but *every* operation goes to the server:
+there are no client-side metadata caches, which is exactly why the paper
+moved on to the in-kernel ORFS ("meta-data access does not benefit from
+the low latency of the network", section 3.1).
+
+Data transfers are zero-copy into the application's buffers:
+
+* on **GM**, through the user-level registration cache (the same
+  pin-down-cache machinery as GMKRC, kept coherent by the library's
+  interception of mmap/munmap — modeled by the same address-space
+  listeners);
+* on **MX**, by passing user-virtual segments (MX pins internally).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cluster.node import Node
+from ..errors import Ebadf, FsError, ProtocolError
+from ..gm.api import GmEventKind, GmPort
+from ..gmkrc.cache import Gmkrc
+from ..kernel.vfs import InodeAttrs
+from ..mem.addrspace import AddressSpace
+from ..mx.api import MxEndpoint
+from ..mx.memtypes import MxSegment
+from ..units import page_align_up
+from .protocol import OrfaOp, OrfaRequest
+from .server import MAX_READ_REPLY, MAX_WRITE_CHUNK, RING_SLOT_BYTES
+
+#: Cost of the library's interception of one libc call (PLT hook).
+LIB_CALL_NS = 500
+
+_ERRNO_EXC = {"ENOENT": "Enoent", "EEXIST": "Eexist", "EISDIR": "Eisdir",
+              "ENOTDIR": "Enotdir", "ENOTEMPTY": "Enotempty",
+              "EINVAL": "Einval"}
+
+
+def _raise_status(status: str):
+    from .. import errors
+
+    exc = getattr(errors, _ERRNO_EXC.get(status, ""), None)
+    if exc is not None:
+        raise exc()
+    raise FsError(status)
+
+
+@dataclass
+class _OrfaFile:
+    attrs: InodeAttrs
+    offset: int = 0
+
+
+class _GmClientSide:
+    """GM user port + registration caches for app buffers and requests."""
+
+    def __init__(self, node: Node, port_id: int, space: AddressSpace):
+        self.node = node
+        self.space = space
+        self.port = GmPort(node, port_id, space)
+        self.regcache = Gmkrc(self.port, node.vmaspy, max_cached_pages=4096)
+        self._req_buf = None
+        self._reply_buf = None
+
+    def setup(self):
+        size = page_align_up(RING_SLOT_BYTES)
+        self._req_buf = self.space.mmap(size, populate=True)
+        self._reply_buf = self.space.mmap(size, populate=True)
+        yield from self.port.register(self._req_buf, size)
+        yield from self.port.register(self._reply_buf, size)
+
+    def call_meta(self, dst, req: OrfaRequest):
+        """Generator: request with header-only reply (metadata ops)."""
+        yield from self.port.provide_receive_buffer(
+            self._reply_buf, 4096, match=req.request_id
+        )
+        yield from self.port.send(
+            dst[0], dst[1], self._req_buf, req.wire_size(), meta=req
+        )
+        return (yield from self._await_reply(req.request_id))
+
+    def call_read(self, dst, req: OrfaRequest, vaddr: int):
+        """Generator: READ with the data landing in the app buffer."""
+        key, entry = yield from self.regcache.acquire(self.space, vaddr, req.length)
+        yield from self.port.provide_receive_buffer_registered(
+            key, req.length, match=req.request_id
+        )
+        yield from self.port.send(
+            dst[0], dst[1], self._req_buf, req.wire_size(), meta=req
+        )
+        reply = yield from self._await_reply(req.request_id)
+        self.regcache.release(entry)
+        return reply
+
+    def call_write(self, dst, req: OrfaRequest, vaddr: int):
+        """Generator: WRITE; the payload is copied into the registered
+        request buffer (GM cannot send a header+user-data vector)."""
+        yield from self.port.provide_receive_buffer(
+            self._reply_buf, 4096, match=req.request_id
+        )
+        yield from self.node.cpu.copy(req.length)
+        data = self.space.read_bytes(vaddr, req.length)
+        self.space.write_bytes(self._req_buf, data)
+        # The staged payload travels inside the request message.
+        yield from self.port.send(
+            dst[0], dst[1], self._req_buf, req.wire_size() + req.length, meta=req,
+        )
+        return (yield from self._await_reply(req.request_id))
+
+    def _await_reply(self, request_id: int):
+        while True:
+            event = yield from self.port.receive_event(blocking=True)
+            if event.kind is GmEventKind.SENT:
+                continue
+            if event.match != request_id:
+                raise ProtocolError(f"unexpected reply match {event.match}")
+            return event.meta
+
+
+class _MxClientSide:
+    """MX user endpoint: user-virtual segments, no registration."""
+
+    def __init__(self, node: Node, port_id: int, space: AddressSpace):
+        self.node = node
+        self.space = space
+        self.endpoint = MxEndpoint(node, port_id, context="user")
+        self._req_buf = None
+        self._reply_buf = None
+
+    def setup(self):
+        size = page_align_up(4096)
+        self._req_buf = self.space.mmap(size, populate=True)
+        self._reply_buf = self.space.mmap(size, populate=True)
+        return
+        yield  # pragma: no cover
+
+    def call_meta(self, dst, req: OrfaRequest):
+        recv = yield from self.endpoint.irecv(
+            [MxSegment.user(self.space, self._reply_buf, 4096)],
+            match=req.request_id,
+        )
+        send = yield from self.endpoint.isend(
+            dst[0], dst[1],
+            [MxSegment.user(self.space, self._req_buf, req.wire_size())],
+            match=0, meta=req,
+        )
+        yield from self.endpoint.wait(send)
+        done = yield from self.endpoint.wait(recv, blocking=True)
+        return done.result.meta
+
+    def call_read(self, dst, req: OrfaRequest, vaddr: int):
+        recv = yield from self.endpoint.irecv(
+            [MxSegment.user(self.space, vaddr, req.length)],
+            match=req.request_id,
+        )
+        send = yield from self.endpoint.isend(
+            dst[0], dst[1],
+            [MxSegment.user(self.space, self._req_buf, req.wire_size())],
+            match=0, meta=req,
+        )
+        yield from self.endpoint.wait(send)
+        done = yield from self.endpoint.wait(recv, blocking=True)
+        return done.result.meta
+
+    def call_write(self, dst, req: OrfaRequest, vaddr: int):
+        recv = yield from self.endpoint.irecv(
+            [MxSegment.user(self.space, self._reply_buf, 4096)],
+            match=req.request_id,
+        )
+        # MX sends the user payload directly (no staging copy).
+        send = yield from self.endpoint.isend(
+            dst[0], dst[1],
+            [MxSegment.user(self.space, vaddr, req.length)],
+            match=0, meta=req,
+        )
+        yield from self.endpoint.wait(send)
+        done = yield from self.endpoint.wait(recv, blocking=True)
+        return done.result.meta
+
+
+class OrfaClient:
+    """The intercepting library's client state for one process."""
+
+    _request_ids = itertools.count(1)
+
+    def __init__(self, node: Node, port_id: int, space: AddressSpace,
+                 server: tuple[int, int], api: str = "mx"):
+        if api not in ("gm", "mx"):
+            raise ProtocolError(f"api must be 'gm' or 'mx', got {api!r}")
+        self.node = node
+        self.space = space
+        self.server = server
+        self.api = api
+        self.cpu = node.cpu
+        if api == "gm":
+            self.side = _GmClientSide(node, port_id, space)
+        else:
+            self.side = _MxClientSide(node, port_id, space)
+        self._files: dict[int, _OrfaFile] = {}
+        self._next_fd = 3
+
+    def setup(self):
+        """Generator: one-time library initialization."""
+        yield from self.side.setup()
+
+    # -- protocol helpers ------------------------------------------------------
+
+    def _rpc_meta(self, op: OrfaOp, inode: int = 0, name: str = "",
+                  length: int = 0) -> "generator":
+        req = OrfaRequest(op=op, request_id=next(OrfaClient._request_ids),
+                          inode=inode, name=name, length=length)
+        reply = yield from self.side.call_meta(self.server, req)
+        if not reply.ok:
+            _raise_status(reply.status)
+        return reply
+
+    def _resolve(self, path: str):
+        """Generator: LOOKUP every component — no client dcache (the
+        ORFA metadata weakness the paper measures)."""
+        attrs = None
+        inode = 1  # server root
+        parts = [p for p in path.strip("/").split("/") if p]
+        if not parts:
+            reply = yield from self._rpc_meta(OrfaOp.GETATTR, inode=inode)
+            return reply.attrs
+        for name in parts:
+            reply = yield from self._rpc_meta(OrfaOp.LOOKUP, inode=inode, name=name)
+            attrs = reply.attrs
+            inode = attrs.inode_id
+        return attrs
+
+    # -- intercepted libc calls ----------------------------------------------------
+
+    def open(self, path: str, create: bool = False):
+        """Generator: open(2) as the library intercepts it."""
+        yield from self.cpu.work(LIB_CALL_NS)
+        try:
+            attrs = yield from self._resolve(path)
+        except FsError:
+            if not create:
+                raise
+            parent_path, _, name = path.rstrip("/").rpartition("/")
+            parent = yield from self._resolve(parent_path or "/")
+            reply = yield from self._rpc_meta(OrfaOp.CREATE,
+                                              inode=parent.inode_id, name=name)
+            attrs = reply.attrs
+        fd = self._next_fd
+        self._next_fd += 1
+        self._files[fd] = _OrfaFile(attrs=attrs)
+        return fd
+
+    def close(self, fd: int):
+        yield from self.cpu.work(LIB_CALL_NS)
+        if fd not in self._files:
+            raise Ebadf(str(fd))
+        del self._files[fd]
+
+    def stat(self, path: str):
+        yield from self.cpu.work(LIB_CALL_NS)
+        attrs = yield from self._resolve(path)
+        return attrs
+
+    def mkdir(self, path: str):
+        yield from self.cpu.work(LIB_CALL_NS)
+        parent_path, _, name = path.rstrip("/").rpartition("/")
+        parent = yield from self._resolve(parent_path or "/")
+        yield from self._rpc_meta(OrfaOp.MKDIR, inode=parent.inode_id, name=name)
+
+    def read(self, fd: int, vaddr: int, length: int):
+        """Generator: read(2); data lands zero-copy in [vaddr, vaddr+len)."""
+        yield from self.cpu.work(LIB_CALL_NS)
+        f = self._file(fd)
+        remaining = min(length, max(0, f.attrs.size - f.offset))
+        done = 0
+        while remaining > 0:
+            chunk = min(remaining, MAX_READ_REPLY)
+            req = OrfaRequest(op=OrfaOp.READ,
+                              request_id=next(OrfaClient._request_ids),
+                              inode=f.attrs.inode_id, offset=f.offset + done,
+                              length=chunk)
+            reply = yield from self.side.call_read(self.server, req, vaddr + done)
+            if not reply.ok:
+                _raise_status(reply.status)
+            done += reply.count
+            remaining -= reply.count
+            if reply.count < chunk:
+                break
+        f.offset += done
+        return done
+
+    def write(self, fd: int, vaddr: int, length: int):
+        """Generator: write(2), chunked to the protocol's wsize."""
+        yield from self.cpu.work(LIB_CALL_NS)
+        f = self._file(fd)
+        done = 0
+        while done < length:
+            chunk = min(length - done, MAX_WRITE_CHUNK)
+            req = OrfaRequest(op=OrfaOp.WRITE,
+                              request_id=next(OrfaClient._request_ids),
+                              inode=f.attrs.inode_id, offset=f.offset + done,
+                              length=chunk)
+            reply = yield from self.side.call_write(self.server, req, vaddr + done)
+            if not reply.ok:
+                _raise_status(reply.status)
+            done += reply.count
+        f.offset += done
+        if f.offset > f.attrs.size:
+            f.attrs.size = f.offset
+        return done
+
+    def seek(self, fd: int, offset: int) -> None:
+        self._file(fd).offset = offset
+
+    def _file(self, fd: int) -> _OrfaFile:
+        f = self._files.get(fd)
+        if f is None:
+            raise Ebadf(str(fd))
+        return f

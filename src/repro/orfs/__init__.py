@@ -1,0 +1,23 @@
+"""ORFS: the in-kernel ORFA client (figure 2(b)).
+
+"A file-system in the kernel forwards to a distant server the requests
+that come from an application through system layers."  ORFS plugs into
+the node's VFS (:class:`repro.kernel.Vfs`) as a
+:class:`repro.kernel.FileSystemOps`, so it gets the dentry/inode caches
+for free (the metadata win over user-space ORFA, section 3.1) and both
+kernel data paths:
+
+* **buffered** — the VFS fills page-cache frames through our
+  ``readpage``, which receives reply data *directly into the frame* by
+  physical address (the paper's section 3.3 page-cache strategy);
+* **direct** (``O_DIRECT``) — ``direct_read``/``direct_write`` move data
+  zero-copy between the application's user buffer and the wire.
+
+The network side is a :class:`repro.core.KernelChannel`, so the same
+client runs over GM (with GMKRC + the physical primitives) and over MX —
+the exact comparison of the paper's section 5.2.
+"""
+
+from .client import OrfsClient, mount_orfs
+
+__all__ = ["OrfsClient", "mount_orfs"]

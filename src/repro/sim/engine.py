@@ -1,0 +1,358 @@
+"""Core event loop, events and processes.
+
+The engine is deliberately small and fully deterministic:
+
+* :class:`Environment` owns the clock (``int`` nanoseconds) and a heap
+  of ``(time, seq, event)`` triples.
+* :class:`Event` is a one-shot future.  Callbacks registered on it run
+  when it is *processed* (popped from the heap), not when triggered.
+* :class:`Process` drives a generator; each yielded event suspends the
+  generator until that event fires.  Values flow back through
+  ``send``/``throw`` exactly like SimPy, so hardware models read as
+  straight-line code.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..errors import ProcessInterrupt, SimulationError
+
+# Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence with an optional value.
+
+    Lifecycle: *pending* -> ``succeed``/``fail`` (triggered, queued on the
+    heap) -> *processed* (callbacks run).  An event may only be triggered
+    once; triggering twice is a bug in the model and raises.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "name")
+
+    def __init__(self, env: "Environment", name: str = ""):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._scheduled = False
+        self.name = name
+
+    # -- state queries -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` was called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event left the heap)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        if not self.triggered:
+            raise SimulationError(f"event {self!r} not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception)."""
+        if self._value is _PENDING:
+            raise SimulationError(f"event {self!r} has no value yet")
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Trigger the event successfully, firing after ``delay`` ns."""
+        self._trigger(value, ok=True, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event as failed; waiters get ``exception`` thrown."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._trigger(exception, ok=False, delay=delay)
+        return self
+
+    def _trigger(self, value: Any, ok: bool, delay: int) -> None:
+        if self.triggered:
+            raise SimulationError(f"event {self!r} triggered twice")
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._value = value
+        self._ok = ok
+        self.env._schedule(self, delay)
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event was already processed, ``fn`` runs immediately —
+        this makes late waiters on a completed request well defined.
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state} at t={self.env.now}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` ns after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: int, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        super().__init__(env, name=f"Timeout({delay})")
+        self._value = value
+        self._ok = True
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """Wraps a generator; itself an Event that fires when the generator ends.
+
+    The generator yields :class:`Event` objects.  When a yielded event
+    fires OK its value is sent back in; when it fails, the exception is
+    thrown into the generator (which may catch it).  ``interrupt()``
+    throws :class:`ProcessInterrupt` at the current suspension point.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, env: "Environment", gen: Generator[Event, Any, Any], name: str = ""):
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise SimulationError(f"Process needs a generator, got {gen!r}")
+        super().__init__(env, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        # Kick off the generator at the current time via an initiation event.
+        init = Event(env, name=f"init:{self.name}")
+        init.succeed()
+        init.add_callback(self._resume)
+        self._waiting_on = init
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`ProcessInterrupt` into the process.
+
+        The event it was waiting on is detached: if it later fires, the
+        process does not see it (matching SimPy semantics closely enough
+        for our models, which re-issue their waits after interrupt).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        target = self._waiting_on
+        self._waiting_on = None
+        interrupt_ev = Event(self.env, name=f"interrupt:{self.name}")
+        interrupt_ev.fail(ProcessInterrupt(cause))
+        interrupt_ev.add_callback(self._resume)
+        # Detach from the original event so its firing is ignored.
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+
+    # -- internal ------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self._gen.send(event.value)
+            else:
+                target = self._gen.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessInterrupt as exc:
+            # Interrupt escaped the generator uncaught: the process dies
+            # with it, propagating to anything waiting on the process.
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            )
+        if target.env is not self.env:
+            raise SimulationError("cannot wait on an event from another Environment")
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composites."""
+
+    __slots__ = ("events", "_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event], name: str):
+        super().__init__(env, name=name)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes events from different Environments")
+        self._done = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        # A Timeout is "triggered" at construction (its value is pre-set),
+        # so membership must be judged by *processed* — has it actually
+        # fired on the heap — not by triggered.
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; value maps event -> value.
+
+    A failing child fails the composite immediately with that child's
+    exception.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, name="AllOf")
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._done += 1
+        if self._done == len(self.events):
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires; value maps event -> value."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, events, name="AnyOf")
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation world: clock, event heap, and process factory."""
+
+    def __init__(self):
+        self._now: int = 0
+        self._heap: list[tuple[int, int, Event]] = []
+        self._seq: int = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    # -- event factories -------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self, name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` ns from now."""
+        return Timeout(self, int(delay), value)
+
+    def process(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a new process driving ``gen``; returns its Process event."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling / running ---------------------------------------------
+
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        if event._scheduled:
+            raise SimulationError(f"event {event!r} scheduled twice")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def step(self) -> None:
+        """Pop and process the next event; raises if the heap is empty."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for fn in callbacks:
+            fn(event)
+
+    def run(self, until: Optional[int | Event] = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None``: run until the heap drains.
+        * ``until`` an ``int``: run until the clock reaches that time.
+        * ``until`` an :class:`Event`: run until it is processed and
+          return its value (raising its exception if it failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        f"event queue drained before {target!r} fired (deadlock?)"
+                    )
+                self.step()
+            if target.ok:
+                return target.value
+            raise target.value
+        deadline = int(until)
+        if deadline < self._now:
+            raise SimulationError(f"cannot run until {deadline} < now {self._now}")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next queued event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,207 @@
+"""Contended resources and message channels for the event engine.
+
+:class:`Resource` models a unit (or pool) of hardware that requests must
+queue for — a PCI bus, a DMA engine, one direction of a network link,
+the host CPU.  :class:`Store` is an unbounded FIFO channel used for
+request queues between model components (e.g. the host-to-NIC doorbell
+queue, a server's incoming-request queue).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Optional
+
+from ..errors import SimulationError
+from .engine import Environment, Event
+
+
+class _Request(Event):
+    """Event that fires when the resource grants this request."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, env: Environment, resource: "Resource"):
+        super().__init__(env, name=f"req:{resource.name}")
+        self.resource = resource
+
+    def release(self) -> None:
+        """Return the granted slot to the resource."""
+        self.resource.release(self)
+
+
+class Resource:
+    """A FIFO resource with ``capacity`` identical slots.
+
+    Usage from a process::
+
+        req = bus.request()
+        yield req
+        yield env.timeout(occupancy)
+        req.release()
+
+    ``acquire()`` is a convenience generator doing request+hold+release
+    in one step for the very common "occupy for a fixed time" pattern.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiting: deque[_Request] = deque()
+        # occupancy statistics
+        self._busy_since: Optional[int] = None
+        self.busy_time = 0
+        self.grant_count = 0
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> _Request:
+        """Ask for a slot; the returned event fires when granted."""
+        req = _Request(self.env, self)
+        if self._in_use < self.capacity:
+            self._grant(req)
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, req: _Request) -> None:
+        """Release a previously granted slot."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name}")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self.busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+        while self._waiting and self._in_use < self.capacity:
+            self._grant(self._waiting.popleft())
+
+    def _grant(self, req: _Request) -> None:
+        self._in_use += 1
+        self.grant_count += 1
+        if self._busy_since is None:
+            self._busy_since = self.env.now
+        req.succeed(req)
+
+    def acquire(self, hold_ns: int):
+        """Generator: wait for a slot, hold it ``hold_ns``, release it.
+
+        Intended to be delegated to from a process::
+
+            yield from bus.acquire(transfer_time)
+        """
+        req = self.request()
+        yield req
+        try:
+            if hold_ns > 0:
+                yield self.env.timeout(hold_ns)
+        finally:
+            req.release()
+
+    def utilization(self) -> float:
+        """Fraction of elapsed simulated time this resource was busy."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.env.now - self._busy_since
+        return busy / self.env.now if self.env.now else 0.0
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are granted in (priority, fifo) order.
+
+    Lower priority value is served first.  Used for NIC firmware
+    scheduling where small-message PIO requests preempt queued DMA
+    descriptors in GM's MCP.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = "presource"):
+        super().__init__(env, capacity, name)
+        self._pwaiting: list[tuple[int, int, _Request]] = []
+        self._pseq = 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pwaiting)
+
+    def request(self, priority: int = 0) -> _Request:  # type: ignore[override]
+        req = _Request(self.env, self)
+        if self._in_use < self.capacity:
+            self._grant(req)
+        else:
+            self._pseq += 1
+            heapq.heappush(self._pwaiting, (priority, self._pseq, req))
+        return req
+
+    def release(self, req: _Request) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name}")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self.busy_time += self.env.now - self._busy_since
+            self._busy_since = None
+        while self._pwaiting and self._in_use < self.capacity:
+            _, _, nxt = heapq.heappop(self._pwaiting)
+            self._grant(nxt)
+
+    def acquire(self, hold_ns: int, priority: int = 0):
+        """Priority-aware variant of :meth:`Resource.acquire`."""
+        req = self.request(priority)
+        yield req
+        try:
+            if hold_ns > 0:
+                yield self.env.timeout(hold_ns)
+        finally:
+            req.release()
+
+
+class Store:
+    """Unbounded FIFO channel of Python objects between processes.
+
+    ``put()`` never blocks (returns the stored item count); ``get()``
+    returns an event firing with the next item, immediately if one is
+    buffered.  Getters are served FIFO.
+    """
+
+    def __init__(self, env: Environment, name: str = "store"):
+        self.env = env
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self.put_count = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> int:
+        """Deposit ``item``; wakes the oldest waiting getter if any."""
+        self.put_count += 1
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+        return len(self._items)
+
+    def get(self) -> Event:
+        """Event firing with the next item (immediately if buffered)."""
+        ev = Event(self.env, name=f"get:{self.name}")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def peek_all(self) -> tuple[Any, ...]:
+        """Snapshot of buffered items (for tests and introspection)."""
+        return tuple(self._items)

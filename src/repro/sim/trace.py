@@ -1,0 +1,107 @@
+"""Lightweight tracing and statistics collection.
+
+Model components emit named trace records through a :class:`Tracer`;
+benchmarks and tests subscribe to categories they care about.  Tracing
+is off by default and costs one dict lookup per emit when disabled, so
+it is safe to leave emit calls in hot paths.
+
+:class:`Counter` and :class:`TimeSeries` are tiny accumulator helpers
+used by the bench harness to derive throughput and latency statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event: (simulated time, category, label, payload)."""
+
+    time: int
+    category: str
+    label: str
+    payload: Any = None
+
+
+class Tracer:
+    """Pub/sub trace hub keyed by category string."""
+
+    def __init__(self):
+        self._subs: dict[str, list[Callable[[TraceRecord], None]]] = {}
+        self._record_all: Optional[list[TraceRecord]] = None
+
+    def subscribe(self, category: str, fn: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``fn`` for every record emitted in ``category``."""
+        self._subs.setdefault(category, []).append(fn)
+
+    def record_everything(self) -> list[TraceRecord]:
+        """Keep every record in a list (tests); returns the live list."""
+        if self._record_all is None:
+            self._record_all = []
+        return self._record_all
+
+    def emit(self, time: int, category: str, label: str, payload: Any = None) -> None:
+        """Publish a record; no-op unless someone subscribed."""
+        subs = self._subs.get(category)
+        if subs is None and self._record_all is None:
+            return
+        rec = TraceRecord(time, category, label, payload)
+        if self._record_all is not None:
+            self._record_all.append(rec)
+        if subs:
+            for fn in subs:
+                fn(rec)
+
+
+@dataclass
+class Counter:
+    """Monotonic counter with a helper for deltas between checkpoints."""
+
+    value: int = 0
+    _mark: int = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def mark(self) -> None:
+        """Checkpoint the current value for :meth:`since_mark`."""
+        self._mark = self.value
+
+    def since_mark(self) -> int:
+        return self.value - self._mark
+
+
+@dataclass
+class TimeSeries:
+    """Append-only (time, value) series with summary statistics."""
+
+    points: list[tuple[int, float]] = field(default_factory=list)
+
+    def append(self, time: int, value: float) -> None:
+        self.points.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def values(self) -> list[float]:
+        return [v for _, v in self.points]
+
+    def mean(self) -> float:
+        vals = self.values()
+        if not vals:
+            raise ValueError("mean of empty series")
+        return sum(vals) / len(vals)
+
+    def minimum(self) -> float:
+        vals = self.values()
+        if not vals:
+            raise ValueError("min of empty series")
+        return min(vals)
+
+    def maximum(self) -> float:
+        vals = self.values()
+        if not vals:
+            raise ValueError("max of empty series")
+        return max(vals)

@@ -1,0 +1,59 @@
+"""Tests for the figure drivers and the CLI runner (fast figures only)."""
+
+import json
+
+import pytest
+
+from repro.bench.figures import FIGURES, fig1b, fig4a, run_figure
+from repro.bench.runner import ALL, main
+
+
+def test_registry_covers_every_paper_figure():
+    expected = {"fig1b", "fig3b", "fig4a", "fig4b", "fig5a", "fig5b",
+                "fig6", "fig7a", "fig7b", "fig8a", "fig8b"}
+    assert set(FIGURES) == expected
+    assert ALL == sorted(expected) + ["table1"]
+
+
+def test_fig1b_structure_and_determinism():
+    a = fig1b()
+    b = fig1b()
+    assert a.series == b.series
+    assert set(a.series) == {
+        "Copy (P3 1.2GHz)", "Copy (P4 2.6GHz)", "Registration",
+        "Deregistration", "Register+Dereg",
+    }
+    assert all(len(v) == len(a.xs) for v in a.series.values())
+    rendered = a.render()
+    assert "fig1b" in rendered and "256k" in rendered
+
+
+def test_run_figure_unknown_name_raises():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_figure("fig99")
+
+
+def test_runner_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig5a" in out and "table1" in out
+
+
+def test_runner_renders_figure(capsys):
+    assert main(["fig4a"]) == 0
+    out = capsys.readouterr().out
+    assert "Physical Address" in out
+
+
+def test_runner_json_mode(capsys):
+    assert main(["fig4a", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert "fig4a" in data
+    series = data["fig4a"]["series"]
+    assert set(series) == {"Memory Registration", "Physical Address"}
+    assert len(series["Physical Address"]) == len(data["fig4a"]["xs"])
+
+
+def test_runner_unknown_experiment_errors(capsys):
+    assert main(["nonsense"]) == 2
+    assert main(["nonsense", "--json"]) == 2

@@ -1,0 +1,52 @@
+"""System-level determinism: identical runs are bit-for-bit identical.
+
+The whole benchmark methodology rests on this: no wall-clock, no global
+RNG, deterministic tie-breaking in the event heap.  These tests rerun
+full multi-subsystem scenarios and require *exactly* equal clocks,
+counters and data.
+"""
+
+from repro.bench.fileio import build_orfs, orfs_sequential_read
+from repro.bench.netpipe import ping_pong, prepare_pair
+from repro.bench.transports import GmUserTransport, MxTransport
+from repro.cluster import node_pair
+from repro.sim import Environment
+from repro.units import KiB, MiB
+
+
+def test_netpipe_runs_identically():
+    def once():
+        env = Environment()
+        a, b = node_pair(env)
+        ta = MxTransport(a, 1, peer_node=1, peer_ep=1)
+        tb = MxTransport(b, 1, peer_node=0, peer_ep=1)
+        prepare_pair(env, ta, tb, 64 * KiB)
+        results = [ping_pong(env, ta, tb, s, rounds=5).one_way_ns
+                   for s in (1, 4096, 64 * KiB)]
+        return results, env.now
+
+    assert once() == once()
+
+
+def test_orfs_full_stack_runs_identically():
+    def once():
+        rig = build_orfs("gm", file_size=256 * KiB)
+        r1 = orfs_sequential_read(rig, 16 * KiB, 256 * KiB)
+        r2 = orfs_sequential_read(rig, 16 * KiB, 256 * KiB, direct=True)
+        return (r1.elapsed_ns, r2.elapsed_ns, rig.env.now,
+                rig.server.requests_served,
+                rig.client_node.pagecache.hits,
+                rig.client_node.pagecache.misses)
+
+    assert once() == once()
+
+
+def test_gm_registration_costs_identical_across_runs():
+    def once():
+        env = Environment()
+        a, b = node_pair(env)
+        t = GmUserTransport(a, 1, peer_node=1, peer_port=1)
+        env.run(until=env.process(t.prepare(MiB)))
+        return env.now, len(a.nic.transtable)
+
+    assert once() == once()

@@ -1,0 +1,58 @@
+"""Smoke tests: every example must run to completion, both APIs where
+applicable.  Keeps the examples from rotting as the library evolves."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *argv: str) -> None:
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "6.7" in out and "4.3" in out
+
+
+@pytest.mark.parametrize("api", ["mx", "gm"])
+def test_distributed_fs(api, capsys):
+    run_example("distributed_fs.py", api)
+    out = capsys.readouterr().out
+    assert "data verified" in out
+
+
+def test_zero_copy_sockets(capsys):
+    run_example("zero_copy_sockets.py")
+    out = capsys.readouterr().out
+    assert "Sockets-MX" in out and "TCP/GigE" in out
+
+
+@pytest.mark.parametrize("api", ["mx", "gm"])
+def test_network_block_device(api, capsys):
+    run_example("network_block_device.py", api)
+    out = capsys.readouterr().out
+    assert "blocks read over the wire" in out
+
+
+def test_registration_cache_pitfalls(capsys):
+    run_example("registration_cache_pitfalls.py")
+    out = capsys.readouterr().out
+    assert "coherence held" in out
+
+
+@pytest.mark.parametrize("api", ["mx", "gm"])
+def test_mpi_stencil(api, capsys):
+    run_example("mpi_stencil.py", api)
+    out = capsys.readouterr().out
+    assert "checkpoint files on server: 8" in out

@@ -1,0 +1,204 @@
+"""Unit tests for the GM API layers (repro.gm)."""
+
+import pytest
+
+from repro.cluster import node_pair
+from repro.errors import GMError, GMRegistrationError, TranslationMiss
+from repro.gm import GmEventKind, GmKernelPort, GmPort
+from repro.gm.registration import RegistrationDomain
+from repro.hw.params import GM_REGISTRATION
+from repro.mem.layout import sg_from_frames
+from repro.sim import Environment
+from repro.units import PAGE_SIZE, us
+
+
+@pytest.fixture
+def pair():
+    env = Environment()
+    a, b = node_pair(env)
+    return env, a, b
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def test_registration_installs_translations(pair):
+    env, node, _ = pair
+    space = node.new_process_space()
+    port = GmPort(node, 1, space)
+    vaddr = space.mmap(3 * PAGE_SIZE)
+    region = run(env, port.register(vaddr, 3 * PAGE_SIZE))
+    assert region.npages == 3
+    table = node.nic.transtable
+    assert all(table.has(port.context, (vaddr >> 12) + i) for i in range(3))
+    assert all(f.pinned for f in region.frames)
+
+
+def test_registration_cost_is_linear_in_pages(pair):
+    env, node, _ = pair
+    space = node.new_process_space()
+    port = GmPort(node, 1, space)
+    v1 = space.mmap(PAGE_SIZE, populate=True)
+    v2 = space.mmap(16 * PAGE_SIZE, populate=True)
+    t0 = env.now
+    run(env, port.register(v1, PAGE_SIZE))
+    one_page = env.now - t0
+    t1 = env.now
+    run(env, port.register(v2, 16 * PAGE_SIZE))
+    sixteen_pages = env.now - t1
+    # 3 us/page slope (plus pinning), ~200 us base only on deregistration
+    slope = (sixteen_pages - one_page) / 15
+    assert us(2.5) < slope < us(4)
+
+
+def test_deregistration_has_200us_base(pair):
+    env, node, _ = pair
+    space = node.new_process_space()
+    port = GmPort(node, 1, space)
+    vaddr = space.mmap(PAGE_SIZE)
+    region = run(env, port.register(vaddr, PAGE_SIZE))
+    t0 = env.now
+    run(env, port.deregister(region))
+    assert env.now - t0 >= us(200)
+    assert not node.nic.transtable.has(port.context, vaddr >> 12)
+    assert not region.frames[0].pinned
+
+
+def test_double_registration_of_same_range_raises(pair):
+    env, node, _ = pair
+    space = node.new_process_space()
+    port = GmPort(node, 1, space)
+    vaddr = space.mmap(PAGE_SIZE)
+    run(env, port.register(vaddr, PAGE_SIZE))
+    with pytest.raises(GMRegistrationError):
+        run(env, port.register(vaddr, PAGE_SIZE))
+
+
+def test_send_from_unregistered_memory_raises(pair):
+    env, node, _ = pair
+    space = node.new_process_space()
+    port = GmPort(node, 1, space)
+    vaddr = space.mmap(PAGE_SIZE)
+    with pytest.raises(GMError, match="unregistered"):
+        run(env, port.send(1, 1, vaddr, 100))
+
+
+def test_end_to_end_data_transfer(pair):
+    env, a, b = pair
+    sa, sb = a.new_process_space(), b.new_process_space()
+    pa, pb = GmPort(a, 1, sa), GmPort(b, 1, sb)
+    va = sa.mmap(PAGE_SIZE)
+    vb = sb.mmap(PAGE_SIZE)
+    sa.write_bytes(va, b"gm-data-transfer")
+
+    def sender(env):
+        yield from pa.register(va, PAGE_SIZE)
+        yield from pa.send(1, 1, va, 16)
+
+    def receiver(env):
+        yield from pb.register(vb, PAGE_SIZE)
+        yield from pb.provide_receive_buffer(vb, PAGE_SIZE)
+        event = yield from pb.receive_event()
+        return event
+
+    env.process(sender(env))
+    event = run(env, receiver(env))
+    assert event.kind is GmEventKind.RECV
+    assert event.size == 16
+    assert sb.read_bytes(vb, 16) == b"gm-data-transfer"
+
+
+def test_send_completion_appears_in_event_queue(pair):
+    env, a, b = pair
+    sa, sb = a.new_process_space(), b.new_process_space()
+    pa, pb = GmPort(a, 1, sa), GmPort(b, 1, sb)
+    va = sa.mmap(PAGE_SIZE)
+    vb = sb.mmap(PAGE_SIZE)
+
+    def receiver(env):
+        yield from pb.register(vb, PAGE_SIZE)
+        yield from pb.provide_receive_buffer(vb, PAGE_SIZE)
+
+    def sender(env):
+        yield from pa.register(va, PAGE_SIZE)
+        yield from pa.send(1, 1, va, 8, tag="my-send")
+        event = yield from pa.receive_event()
+        return event
+
+    env.process(receiver(env))
+    event = run(env, sender(env))
+    assert event.kind is GmEventKind.SENT
+    assert event.tag == "my-send"
+
+
+def test_kernel_port_rejects_user_registration(pair):
+    env, node, _ = pair
+    port = GmKernelPort(node, 2)
+    with pytest.raises(GMError):
+        port.register(0x1000_0000, PAGE_SIZE)
+
+
+def test_kernel_register_kernel_memory(pair):
+    env, node, _ = pair
+    port = GmKernelPort(node, 2)
+    alloc = node.kspace.vmalloc(2 * PAGE_SIZE)
+    region = run(env, port.register_kernel(alloc.vaddr, 2 * PAGE_SIZE))
+    assert region.npages == 2
+    assert node.nic.transtable.has(port.context, alloc.vaddr >> 12)
+
+
+def test_physical_send_and_receive_roundtrip(pair):
+    env, a, b = pair
+    pa, pb = GmKernelPort(a, 2), GmKernelPort(b, 2)
+    src = a.kspace.kmalloc(PAGE_SIZE)
+    dst = b.kspace.kmalloc(PAGE_SIZE)
+    a.kspace.write_bytes(src.vaddr, b"physical-path")
+
+    def receiver(env):
+        yield from pb.provide_receive_buffer_physical(
+            sg_from_frames(dst.frames, 0, PAGE_SIZE)
+        )
+        event = yield from pb.receive_event()
+        return event
+
+    def sender(env):
+        yield from pa.send_physical(1, 2, sg_from_frames(src.frames, 0, 13))
+
+    env.process(sender(env))
+    event = run(env, receiver(env))
+    assert event.size == 13
+    assert b.kspace.read_bytes(dst.vaddr, 13) == b"physical-path"
+    # Physical primitives never touch the translation table.
+    assert a.nic.transtable.lookup_count == 0
+
+
+def test_physical_send_empty_sg_raises(pair):
+    env, node, _ = pair
+    port = GmKernelPort(node, 2)
+    with pytest.raises(GMError):
+        run(env, port.send_physical(1, 2, []))
+
+
+def test_port_close_drops_registrations_without_dereg_cost(pair):
+    env, node, _ = pair
+    space = node.new_process_space()
+    port = GmPort(node, 1, space)
+    vaddr = space.mmap(4 * PAGE_SIZE)
+    run(env, port.register(vaddr, 4 * PAGE_SIZE))
+    assert len(node.nic.transtable) == 4
+    t0 = env.now
+    port.close()
+    assert env.now == t0  # synchronous, free
+    assert len(node.nic.transtable) == 0
+    with pytest.raises(GMError):
+        run(env, port.send(1, 1, vaddr, 10))
+
+
+def test_closed_port_rejects_operations(pair):
+    env, node, _ = pair
+    space = node.new_process_space()
+    port = GmPort(node, 1, space)
+    port.close()
+    with pytest.raises(GMError):
+        run(env, port.receive_event())

@@ -1,0 +1,168 @@
+"""Unit tests for kernel memory and scatter/gather building."""
+
+import pytest
+
+from repro.errors import BadAddress
+from repro.mem import (
+    AddressSpace,
+    KernelSpace,
+    PhysicalMemory,
+    sg_from_frames,
+    sg_from_kernel,
+    sg_from_user,
+)
+from repro.mem.kmem import KERNEL_BASE
+from repro.units import PAGE_SIZE
+
+
+@pytest.fixture
+def phys():
+    return PhysicalMemory(256)
+
+
+@pytest.fixture
+def kspace(phys):
+    return KernelSpace(phys)
+
+
+# -- kernel memory -----------------------------------------------------------
+
+
+def test_kmalloc_is_physically_contiguous(kspace):
+    alloc = kspace.kmalloc(3 * PAGE_SIZE)
+    pfns = [f.pfn for f in alloc.frames]
+    assert pfns == list(range(pfns[0], pfns[0] + 3))
+    assert alloc.contiguous
+
+
+def test_vmalloc_can_be_scattered(kspace, phys):
+    # Fragment physical memory so vmalloc must scatter.
+    a = phys.alloc()
+    b = phys.alloc()
+    phys.free(a)  # hole at pfn 0
+    alloc = kspace.vmalloc(2 * PAGE_SIZE)
+    assert len(alloc.frames) == 2
+    assert not alloc.contiguous
+
+
+def test_kernel_addresses_above_kernel_base(kspace):
+    alloc = kspace.kmalloc(PAGE_SIZE)
+    assert alloc.vaddr >= KERNEL_BASE
+    assert KernelSpace.is_kernel_address(alloc.vaddr)
+    assert not KernelSpace.is_kernel_address(0x2000_0000)
+
+
+def test_kernel_memory_is_born_pinned(kspace):
+    alloc = kspace.kmalloc(2 * PAGE_SIZE)
+    assert all(f.pinned for f in alloc.frames)
+
+
+def test_kfree_releases_frames(kspace, phys):
+    alloc = kspace.vmalloc(2 * PAGE_SIZE)
+    kspace.kfree(alloc)
+    assert phys.allocated_frames == 0
+    with pytest.raises(BadAddress):
+        kspace.translate(alloc.vaddr)
+
+
+def test_kfree_unknown_allocation_raises(kspace):
+    alloc = kspace.kmalloc(PAGE_SIZE)
+    kspace.kfree(alloc)
+    with pytest.raises(BadAddress):
+        kspace.kfree(alloc)
+
+
+def test_kernel_read_write_roundtrip(kspace):
+    alloc = kspace.vmalloc(2 * PAGE_SIZE)
+    payload = bytes(range(256)) * 17
+    kspace.write_bytes(alloc.vaddr + 50, payload)
+    assert kspace.read_bytes(alloc.vaddr + 50, len(payload)) == payload
+
+
+def test_kernel_translate_offset(kspace):
+    alloc = kspace.kmalloc(2 * PAGE_SIZE)
+    base_phys = alloc.frames[0].phys_addr
+    assert kspace.translate(alloc.vaddr + 5) == base_phys + 5
+    assert (
+        kspace.translate(alloc.vaddr + PAGE_SIZE + 7)
+        == alloc.frames[1].phys_addr + 7
+    )
+
+
+# -- scatter/gather ----------------------------------------------------------
+
+
+def test_sg_from_kernel_kmalloc_is_single_segment(kspace):
+    alloc = kspace.kmalloc(4 * PAGE_SIZE)
+    segs = sg_from_kernel(kspace, alloc.vaddr, 4 * PAGE_SIZE)
+    assert len(segs) == 1
+    assert segs[0].length == 4 * PAGE_SIZE
+
+
+def test_sg_from_kernel_vmalloc_segments_per_discontiguity(kspace, phys):
+    # Force scattered frames: allocate in a pattern leaving holes.
+    hold = [phys.alloc() for _ in range(3)]
+    phys.free(hold[1])
+    alloc = kspace.vmalloc(2 * PAGE_SIZE)
+    segs = sg_from_kernel(kspace, alloc.vaddr, 2 * PAGE_SIZE)
+    total = sum(s.length for s in segs)
+    assert total == 2 * PAGE_SIZE
+    pfns = [f.pfn for f in alloc.frames]
+    expected_segs = 1 if pfns[1] == pfns[0] + 1 else 2
+    assert len(segs) == expected_segs
+
+
+def test_sg_from_user_requires_resident_pages(phys):
+    space = AddressSpace(phys)
+    addr = space.mmap(2 * PAGE_SIZE)
+    with pytest.raises(BadAddress):
+        sg_from_user(space, addr, PAGE_SIZE)
+    space.pin_range(addr, 2 * PAGE_SIZE)
+    segs = sg_from_user(space, addr + 10, PAGE_SIZE)
+    assert sum(s.length for s in segs) == PAGE_SIZE
+
+
+def test_sg_from_user_merges_contiguous_frames(phys):
+    space = AddressSpace(phys)
+    addr = space.mmap(3 * PAGE_SIZE, populate=True)
+    # populate() allocates lowest-free-pfn first, so frames are adjacent.
+    segs = sg_from_user(space, addr, 3 * PAGE_SIZE)
+    assert len(segs) == 1
+
+
+def test_sg_from_user_zero_length(phys):
+    space = AddressSpace(phys)
+    addr = space.mmap(PAGE_SIZE, populate=True)
+    assert sg_from_user(space, addr, 0) == []
+
+
+def test_sg_from_frames_with_offset_and_length(phys):
+    frames = [phys.alloc() for _ in range(3)]
+    segs = sg_from_frames(frames, offset=100, length=PAGE_SIZE)
+    assert sum(s.length for s in segs) == PAGE_SIZE
+    assert segs[0].phys_addr == frames[0].phys_addr + 100
+
+
+def test_sg_from_frames_full_run(phys):
+    frames = phys.alloc_contiguous(2)
+    segs = sg_from_frames(frames)
+    assert len(segs) == 1
+    assert segs[0].length == 2 * PAGE_SIZE
+
+
+def test_sg_from_frames_rejects_overrun(phys):
+    frames = [phys.alloc()]
+    with pytest.raises(ValueError):
+        sg_from_frames(frames, offset=0, length=PAGE_SIZE + 1)
+
+
+def test_sg_segments_cover_exact_byte_ranges(phys):
+    """Data written through segments equals data read through the VA."""
+    space = AddressSpace(phys)
+    addr = space.mmap(2 * PAGE_SIZE)
+    space.pin_range(addr, 2 * PAGE_SIZE)
+    payload = bytes((i * 7) % 256 for i in range(PAGE_SIZE + 500))
+    space.write_bytes(addr + 200, payload)
+    segs = sg_from_user(space, addr + 200, len(payload))
+    collected = b"".join(phys.read_phys(s.phys_addr, s.length) for s in segs)
+    assert collected == payload

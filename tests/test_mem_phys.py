@@ -1,0 +1,137 @@
+"""Unit tests for the physical frame allocator (repro.mem.phys)."""
+
+import pytest
+
+from repro.errors import OutOfMemory, PinningError
+from repro.mem import PhysicalMemory
+from repro.units import PAGE_SIZE
+
+
+def test_alloc_returns_distinct_frames():
+    phys = PhysicalMemory(8)
+    a = phys.alloc()
+    b = phys.alloc()
+    assert a.pfn != b.pfn
+    assert phys.allocated_frames == 2
+    assert phys.free_frames == 6
+
+
+def test_alloc_exhaustion_raises():
+    phys = PhysicalMemory(2)
+    phys.alloc()
+    phys.alloc()
+    with pytest.raises(OutOfMemory):
+        phys.alloc()
+
+
+def test_free_recycles_frame():
+    phys = PhysicalMemory(1)
+    frame = phys.alloc()
+    phys.free(frame)
+    again = phys.alloc()
+    assert again.pfn == frame.pfn
+
+
+def test_double_free_raises():
+    phys = PhysicalMemory(2)
+    frame = phys.alloc()
+    phys.free(frame)
+    with pytest.raises(ValueError):
+        phys.free(frame)
+
+
+def test_frame_read_write_roundtrip():
+    phys = PhysicalMemory(1)
+    frame = phys.alloc()
+    frame.write(100, b"hello world")
+    assert frame.read(100, 11) == b"hello world"
+
+
+def test_frame_reads_zero_before_write():
+    phys = PhysicalMemory(1)
+    frame = phys.alloc()
+    assert frame.read(0, 16) == bytes(16)
+
+
+def test_frame_out_of_range_access_raises():
+    phys = PhysicalMemory(1)
+    frame = phys.alloc()
+    with pytest.raises(ValueError):
+        frame.read(PAGE_SIZE - 4, 8)
+    with pytest.raises(ValueError):
+        frame.write(PAGE_SIZE, b"x")
+
+
+def test_phys_addr_matches_pfn():
+    phys = PhysicalMemory(16)
+    frame = phys.alloc()
+    assert frame.phys_addr == frame.pfn * PAGE_SIZE
+    assert phys.frame_at_phys(frame.phys_addr + 123) is frame
+
+
+def test_pin_prevents_free():
+    phys = PhysicalMemory(2)
+    frame = phys.alloc()
+    frame.pin()
+    with pytest.raises(PinningError):
+        phys.free(frame)
+    frame.unpin()
+    phys.free(frame)
+
+
+def test_unbalanced_unpin_raises():
+    phys = PhysicalMemory(1)
+    frame = phys.alloc()
+    with pytest.raises(PinningError):
+        frame.unpin()
+
+
+def test_pin_count_nests():
+    phys = PhysicalMemory(1)
+    frame = phys.alloc()
+    frame.pin()
+    frame.pin()
+    frame.unpin()
+    assert frame.pinned
+    frame.unpin()
+    assert not frame.pinned
+
+
+def test_alloc_contiguous_returns_adjacent_pfns():
+    phys = PhysicalMemory(16)
+    frames = phys.alloc_contiguous(4)
+    pfns = [f.pfn for f in frames]
+    assert pfns == list(range(pfns[0], pfns[0] + 4))
+
+
+def test_alloc_contiguous_skips_fragmented_holes():
+    phys = PhysicalMemory(10)
+    keep = [phys.alloc() for _ in range(4)]  # pfns 0..3
+    phys.free(keep[1])  # hole at pfn 1: runs are {1}, {4..9}
+    frames = phys.alloc_contiguous(3)
+    assert [f.pfn for f in frames] == [4, 5, 6]
+
+
+def test_alloc_contiguous_failure_when_fragmented():
+    phys = PhysicalMemory(4)
+    frames = [phys.alloc() for _ in range(4)]
+    phys.free(frames[0])
+    phys.free(frames[2])  # free: {0, 2} — no run of 2
+    with pytest.raises(OutOfMemory):
+        phys.alloc_contiguous(2)
+
+
+def test_read_write_phys_crosses_frames():
+    phys = PhysicalMemory(4)
+    frames = phys.alloc_contiguous(2)
+    base = frames[0].phys_addr
+    data = bytes(range(256)) * 40  # 10240 bytes > fits? 2 pages = 8192
+    data = data[:6000]
+    phys.write_phys(base + 3000, data[: PAGE_SIZE + 1000])
+    assert phys.read_phys(base + 3000, PAGE_SIZE + 1000) == data[: PAGE_SIZE + 1000]
+
+
+def test_read_phys_unallocated_frame_raises():
+    phys = PhysicalMemory(4)
+    with pytest.raises(ValueError):
+        phys.read_phys(0, 8)

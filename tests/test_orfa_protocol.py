@@ -1,0 +1,92 @@
+"""Unit tests for the ORFA wire protocol types and server edge cases."""
+
+import pytest
+
+from repro.cluster import node_pair
+from repro.errors import ProtocolError
+from repro.orfa.protocol import (
+    DIRENT_WIRE_BYTES,
+    OrfaOp,
+    OrfaReply,
+    OrfaRequest,
+    REQUEST_WIRE_BYTES,
+)
+from repro.orfa.server import MAX_READ_REPLY, OrfaServer
+from repro.sim import Environment
+
+
+def test_request_wire_size_includes_name():
+    bare = OrfaRequest(op=OrfaOp.GETATTR, request_id=1)
+    named = OrfaRequest(op=OrfaOp.LOOKUP, request_id=2, name="filename")
+    assert bare.wire_size() == REQUEST_WIRE_BYTES
+    assert named.wire_size() == REQUEST_WIRE_BYTES + 8
+
+
+def test_reply_wire_size_counts_dirents():
+    reply = OrfaReply(request_id=1, names=["a", "bb", "ccc"])
+    assert reply.data_wire_size(0) == 3 * DIRENT_WIRE_BYTES
+    data_reply = OrfaReply(request_id=2)
+    assert data_reply.data_wire_size(4096) == 4096
+    empty = OrfaReply(request_id=3)
+    assert empty.data_wire_size(0) == 1  # a header still travels
+
+
+def test_reply_ok_flag():
+    assert OrfaReply(request_id=1).ok
+    assert not OrfaReply(request_id=1, status="ENOENT").ok
+
+
+def test_server_rejects_bad_api_name():
+    env = Environment()
+    node, _ = node_pair(env)
+    with pytest.raises(ProtocolError):
+        OrfaServer(node, 3, api="tcp")
+
+
+def test_server_caps_read_replies():
+    """A READ larger than the reply cap is a protocol violation the
+    server surfaces instead of silently truncating."""
+    env = Environment()
+    client_node, server_node = node_pair(env)
+    server = OrfaServer(server_node, 3, api="mx")
+    env.run(until=server.start())
+    attrs = env.run(until=env.process(server.fs.create(1, "big")))
+    server.fs.write_raw(attrs.inode_id, 0, bytes(64))
+
+    from repro.core import MxKernelChannel
+    from repro.mx.memtypes import MxSegment
+
+    channel = MxKernelChannel(client_node, 4)
+    req = OrfaRequest(op=OrfaOp.READ, request_id=9,
+                      inode=attrs.inode_id, offset=0,
+                      length=MAX_READ_REPLY + 1)
+    kbuf = client_node.kspace.kmalloc(4096)
+
+    def script(env):
+        yield from channel.send(1, 3, [MxSegment.kernel(kbuf.vaddr, 64)],
+                                match=0, meta=req)
+
+    env.process(script(env))
+    with pytest.raises(ProtocolError, match="exceeds"):
+        env.run()
+
+
+def test_server_rejects_non_orfa_messages():
+    env = Environment()
+    client_node, server_node = node_pair(env)
+    server = OrfaServer(server_node, 3, api="mx")
+    env.run(until=server.start())
+
+    from repro.core import MxKernelChannel
+    from repro.mx.memtypes import MxSegment
+
+    channel = MxKernelChannel(client_node, 4)
+    kbuf = client_node.kspace.kmalloc(4096)
+
+    def script(env):
+        yield from channel.send(1, 3, [MxSegment.kernel(kbuf.vaddr, 16)],
+                                match=0, meta={"not": "orfa"})
+
+    env.process(script(env))
+    with pytest.raises(ProtocolError, match="non-ORFA"):
+        env.run()

@@ -1,0 +1,105 @@
+"""Integration tests pinning the paper's quantitative claims.
+
+Each test reproduces one claim from the evaluation (section 5 / table 1)
+end-to-end through the simulated stack.  These complement the per-figure
+benchmarks in ``benchmarks/`` with fast, CI-sized versions; EXPERIMENTS.md
+records the full paper-vs-measured comparison.
+"""
+
+import pytest
+
+from repro.bench.fileio import build_orfs, orfs_sequential_read
+from repro.bench.netpipe import ping_pong, prepare_pair
+from repro.bench.transports import GmUserTransport, MxTransport
+from repro.cluster import node_pair
+from repro.sim import Environment
+from repro.units import KiB, MiB
+
+
+def test_claim_orfs_mx_buffered_40_percent_over_gm():
+    """Section 5.2: 'Buffered file access in ORFS on MX shows a 40 %
+    improvement over GM.'"""
+    plateaus = {}
+    for api in ("mx", "gm"):
+        rig = build_orfs(api, file_size=MiB)
+        plateaus[api] = orfs_sequential_read(rig, 256 * KiB, MiB).throughput_mb_s
+    gain = plateaus["mx"] / plateaus["gm"] - 1
+    assert 0.25 < gain < 0.55, f"buffered gain {gain:.2%} (paper: 40 %)"
+
+
+def test_claim_orfs_direct_mx_at_least_as_good():
+    """Section 5.2 / table 1: direct access on MX 'as least as good'."""
+    results = {}
+    for api in ("mx", "gm"):
+        rig = build_orfs(api, file_size=MiB)
+        results[api] = orfs_sequential_read(
+            rig, 256 * KiB, MiB, direct=True).throughput_mb_s
+    assert results["mx"] >= 0.98 * results["gm"]
+
+
+def test_claim_gm_user_latency_50_percent_above_mx():
+    """Section 5.1: 'GM user latency is more than 50 % higher than with
+    MX (6.7 us against 4.2 us for 1-byte message).'"""
+
+    def one_way(make):
+        env = Environment()
+        na, nb = node_pair(env)
+        a, b = make(na, 1), make(nb, 0)
+        prepare_pair(env, a, b, 4096)
+        return ping_pong(env, a, b, 1, rounds=8).one_way_us
+
+    gm = one_way(lambda n, p: GmUserTransport(n, 1, peer_node=p, peer_port=1))
+    mx = one_way(lambda n, p: MxTransport(n, 1, peer_node=p, peer_ep=1))
+    assert gm / mx > 1.5
+    assert gm == pytest.approx(6.7, abs=0.3)
+    assert mx == pytest.approx(4.2, abs=0.3)
+
+
+def test_claim_buffered_4k_beats_direct_4k_on_gm():
+    """Section 3.3: '4 kB accesses are faster through the page-cache
+    compared to direct accesses, even if an additional copy from the
+    page-cache to the application is required.'"""
+    rig = build_orfs("gm", file_size=MiB)
+    buffered = orfs_sequential_read(rig, 4096, MiB).throughput_mb_s
+    direct = orfs_sequential_read(rig, 4096, MiB, direct=True).throughput_mb_s
+    assert buffered > direct
+
+
+def test_claim_direct_much_better_for_large_transfers():
+    """Section 3.3: 'an application requesting large data transfers will
+    show much better performance in the direct case' (one network
+    request vs page-sized splitting)."""
+    rig = build_orfs("gm", file_size=MiB)
+    buffered = orfs_sequential_read(rig, MiB, MiB).throughput_mb_s
+    direct = orfs_sequential_read(rig, MiB, MiB, direct=True).throughput_mb_s
+    assert direct > 2 * buffered
+
+
+def test_claim_regcache_miss_costs_about_20_percent():
+    """Section 3.2: 'Without any cache hit, the performance is 20 %
+    lower.'"""
+    with_cache = build_orfs("gm", file_size=MiB)
+    without = build_orfs("gm", regcache_enabled=False, file_size=MiB)
+    a = orfs_sequential_read(with_cache, 256 * KiB, MiB, direct=True)
+    b = orfs_sequential_read(without, 256 * KiB, MiB, direct=True)
+    loss = 1 - b.throughput_mb_s / a.throughput_mb_s
+    assert 0.08 < loss < 0.30, f"no-cache loss {loss:.2%} (paper: ~20 %)"
+
+
+def test_claim_mx_kernel_bandwidth_not_below_user():
+    """Section 5.1: 'The large message bandwidth is even higher with the
+    kernel interface since the page locking overhead is lower.'"""
+
+    def bw(context, physical):
+        env = Environment()
+        na, nb = node_pair(env)
+        a = MxTransport(na, 1, peer_node=1, peer_ep=1, context=context,
+                        physical=physical)
+        b = MxTransport(nb, 1, peer_node=0, peer_ep=1, context=context,
+                        physical=physical)
+        prepare_pair(env, a, b, MiB)
+        return ping_pong(env, a, b, MiB, rounds=4).bandwidth_mb_s
+
+    user = bw("user", False)
+    kernel = bw("kernel", True)
+    assert kernel >= user

@@ -1,0 +1,332 @@
+"""Unit tests for the discrete-event engine (repro.sim.engine)."""
+
+import pytest
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.sim import Environment
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = {}
+
+    def proc(env):
+        yield env.timeout(100)
+        done["t"] = env.now
+
+    env.process(proc(env))
+    env.run()
+    assert done["t"] == 100
+    assert env.now == 100
+
+
+def test_timeout_value_passthrough():
+    env = Environment()
+    seen = {}
+
+    def proc(env):
+        value = yield env.timeout(5, value="payload")
+        seen["v"] = value
+
+    env.process(proc(env))
+    env.run()
+    assert seen["v"] == "payload"
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(env, delay, tag):
+        yield env.timeout(delay)
+        order.append(tag)
+
+    env.process(proc(env, 30, "c"))
+    env.process(proc(env, 10, "a"))
+    env.process(proc(env, 20, "b"))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(50)
+        order.append(tag)
+
+    for tag in ("first", "second", "third"):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        return 42
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == 42
+
+
+def test_process_waits_on_manual_event():
+    env = Environment()
+    ev = env.event()
+    got = {}
+
+    def waiter(env):
+        got["v"] = yield ev
+
+    def trigger(env):
+        yield env.timeout(7)
+        ev.succeed("hello")
+
+    env.process(waiter(env))
+    env.process(trigger(env))
+    env.run()
+    assert got["v"] == "hello"
+    assert env.now == 7
+
+
+def test_event_failure_raises_in_process():
+    env = Environment()
+    ev = env.event()
+    caught = {}
+
+    def waiter(env):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught["exc"] = str(exc)
+
+    def failer(env):
+        yield env.timeout(3)
+        ev.fail(RuntimeError("boom"))
+
+    env.process(waiter(env))
+    env.process(failer(env))
+    env.run()
+    assert caught["exc"] == "boom"
+
+
+def test_uncaught_event_failure_propagates_through_run():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        raise ValueError("explode")
+
+    p = env.process(proc(env))
+    with pytest.raises(ValueError, match="explode"):
+        env.run(until=p)
+
+
+def test_event_triggered_twice_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    done = {}
+
+    def proc(env):
+        t1 = env.timeout(10, value="a")
+        t2 = env.timeout(30, value="b")
+        result = yield env.all_of([t1, t2])
+        done["at"] = env.now
+        done["values"] = sorted(result.values())
+
+    env.process(proc(env))
+    env.run()
+    assert done["at"] == 30
+    assert done["values"] == ["a", "b"]
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+    done = {}
+
+    def proc(env):
+        t1 = env.timeout(10, value="fast")
+        t2 = env.timeout(30, value="slow")
+        result = yield env.any_of([t1, t2])
+        done["at"] = env.now
+        done["values"] = list(result.values())
+
+    env.process(proc(env))
+    env.run()
+    assert done["at"] == 10
+    assert done["values"] == ["fast"]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    done = {}
+
+    def proc(env):
+        yield env.all_of([])
+        done["at"] = env.now
+
+    env.process(proc(env))
+    env.run()
+    assert done["at"] == 0
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc(env))
+    env.run(until=95)
+    assert env.now == 95
+
+
+def test_run_until_past_time_raises():
+    env = Environment()
+    env.run(until=50)
+    with pytest.raises(SimulationError):
+        env.run(until=10)
+
+
+def test_run_until_event_deadlock_detected():
+    env = Environment()
+    ev = env.event()
+
+    def waiter(env):
+        yield ev
+
+    p = env.process(waiter(env))
+    with pytest.raises(SimulationError, match="deadlock"):
+        env.run(until=p)
+
+
+def test_interrupt_raises_in_process():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(1000)
+        except ProcessInterrupt as exc:
+            log.append(("interrupted", exc.cause, env.now))
+
+    def interrupter(env, victim):
+        yield env.timeout(50)
+        victim.interrupt("wakeup")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [("interrupted", "wakeup", 50)]
+
+
+def test_uncaught_interrupt_kills_process():
+    env = Environment()
+
+    def sleeper(env):
+        yield env.timeout(1000)
+
+    def interrupter(env, victim):
+        yield env.timeout(5)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    with pytest.raises(ProcessInterrupt):
+        env.run(until=victim)
+
+
+def test_interrupt_finished_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    p = env.process(bad(env))
+    with pytest.raises(SimulationError, match="must yield Event"):
+        env.run(until=p)
+
+
+def test_late_callback_on_processed_event_runs_immediately():
+    env = Environment()
+    ev = env.timeout(5, value="x")
+    env.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["x"]
+
+
+def test_nested_processes_wait_on_each_other():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(25)
+        return "child-result"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return (result, env.now)
+
+    p = env.process(parent(env))
+    assert env.run(until=p) == ("child-result", 25)
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(40)
+    env.timeout(10)
+    assert env.peek() == 10
+    env.run()
+    assert env.peek() is None
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        env = Environment()
+        trace = []
+
+        def proc(env, tag, period):
+            for _ in range(5):
+                yield env.timeout(period)
+                trace.append((env.now, tag))
+
+        env.process(proc(env, "a", 7))
+        env.process(proc(env, "b", 11))
+        env.run()
+        return trace
+
+    assert build() == build()

@@ -1,0 +1,260 @@
+"""Unit tests for Resource, PriorityResource and Store (repro.sim.resources)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, PriorityResource, Resource, Store
+
+
+def test_resource_grants_immediately_when_free():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def proc(env):
+        req = res.request()
+        yield req
+        log.append(env.now)
+        req.release()
+
+    env.process(proc(env))
+    env.run()
+    assert log == [0]
+
+
+def test_resource_serializes_two_holders():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def proc(env, tag):
+        req = res.request()
+        yield req
+        log.append((tag, "start", env.now))
+        yield env.timeout(100)
+        req.release()
+        log.append((tag, "end", env.now))
+
+    env.process(proc(env, "a"))
+    env.process(proc(env, "b"))
+    env.run()
+    assert log == [
+        ("a", "start", 0),
+        ("a", "end", 100),
+        ("b", "start", 100),
+        ("b", "end", 200),
+    ]
+
+
+def test_resource_capacity_two_runs_in_parallel():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    starts = []
+
+    def proc(env):
+        req = res.request()
+        yield req
+        starts.append(env.now)
+        yield env.timeout(50)
+        req.release()
+
+    for _ in range(3):
+        env.process(proc(env))
+    env.run()
+    assert starts == [0, 0, 50]
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def proc(env, tag, arrive):
+        yield env.timeout(arrive)
+        req = res.request()
+        yield req
+        order.append(tag)
+        yield env.timeout(10)
+        req.release()
+
+    env.process(proc(env, "late", 2))
+    env.process(proc(env, "early", 1))
+    env.process(proc(env, "first", 0))
+    env.run()
+    assert order == ["first", "early", "late"]
+
+
+def test_release_idle_resource_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    req.release()
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_acquire_helper_holds_for_duration():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def proc(env, tag):
+        yield from res.acquire(30)
+        log.append((tag, env.now))
+
+    env.process(proc(env, "a"))
+    env.process(proc(env, "b"))
+    env.run()
+    assert log == [("a", 30), ("b", 60)]
+
+
+def test_resource_utilization_tracks_busy_time():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def proc(env):
+        yield from res.acquire(40)
+        yield env.timeout(60)  # idle gap
+        yield from res.acquire(20)
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 120
+    assert res.busy_time == 60
+    assert res.utilization() == pytest.approx(0.5)
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_priority_resource_serves_lowest_priority_first():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        req = res.request(priority=0)
+        yield req
+        yield env.timeout(100)
+        req.release()
+
+    def proc(env, tag, prio, arrive):
+        yield env.timeout(arrive)
+        req = res.request(priority=prio)
+        yield req
+        order.append(tag)
+        req.release()
+
+    env.process(holder(env))
+    env.process(proc(env, "low-prio", 5, 1))
+    env.process(proc(env, "high-prio", 1, 2))
+    env.run()
+    assert order == ["high-prio", "low-prio"]
+
+
+def test_priority_resource_fifo_within_same_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(10)
+        req.release()
+
+    def proc(env, tag, arrive):
+        yield env.timeout(arrive)
+        yield from res.acquire(1, priority=3)
+        order.append(tag)
+
+    env.process(holder(env))
+    env.process(proc(env, "x", 1))
+    env.process(proc(env, "y", 2))
+    env.run()
+    assert order == ["x", "y"]
+
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    got = {}
+
+    def consumer(env):
+        got["v"] = yield store.get()
+
+    store.put("item")
+    env.process(consumer(env))
+    env.run()
+    assert got["v"] == "item"
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = {}
+
+    def consumer(env):
+        got["v"] = yield store.get()
+        got["t"] = env.now
+
+    def producer(env):
+        yield env.timeout(33)
+        store.put("late-item")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == {"v": "late-item", "t": 33}
+
+
+def test_store_fifo_item_order():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    for item in (1, 2, 3):
+        store.put(item)
+    env.process(consumer(env))
+    env.run()
+    assert received == [1, 2, 3]
+
+
+def test_store_fifo_getter_order():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer(env, tag, arrive):
+        yield env.timeout(arrive)
+        item = yield store.get()
+        received.append((tag, item))
+
+    env.process(consumer(env, "a", 0))
+    env.process(consumer(env, "b", 1))
+
+    def producer(env):
+        yield env.timeout(10)
+        store.put("x")
+        store.put("y")
+
+    env.process(producer(env))
+    env.run()
+    assert received == [("a", "x"), ("b", "y")]
+
+
+def test_store_len_and_peek():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.peek_all() == (1, 2)

@@ -1,0 +1,192 @@
+"""Tests for the zero-copy socket protocols and the TCP/IP baseline."""
+
+import pytest
+
+from repro.cluster import node_pair
+from repro.errors import SocketError
+from repro.hw.params import PCI_XE
+from repro.sim import Environment
+from repro.sockets import SocketsGmModule, SocketsMxModule, ethernet_pair
+from repro.units import PAGE_SIZE, us
+
+
+def make_pair(kind):
+    env = Environment()
+    a, b = node_pair(env, link=PCI_XE)
+    if kind == "mx":
+        return env, a, b, SocketsMxModule(a, 9), SocketsMxModule(b, 9)
+    if kind == "gm":
+        return env, a, b, SocketsGmModule(a, 9), SocketsGmModule(b, 9)
+    sa, sb = ethernet_pair(env, a, b)
+    return env, a, b, sa, sb
+
+
+def connect_pair(env, ma, mb, kind):
+    """Run listen+connect+accept; returns (client_sock, server_sock)."""
+    result = {}
+
+    def server(env):
+        if kind == "tcp":
+            mb.listen()
+        else:
+            yield from mb.listen()
+        sock = yield from mb.accept()
+        result["server"] = sock
+        if kind == "tcp":
+            return
+            yield  # pragma: no cover
+
+    def client(env):
+        if kind == "tcp":
+            sock = yield from ma.connect()
+        else:
+            sock = yield from ma.connect(1, 9)
+        result["client"] = sock
+
+    env.process(server(env))
+    p = env.process(client(env))
+    env.run(until=p)
+    env.run(until=env.now + us(100))
+    return result["client"], result["server"]
+
+
+KINDS = ["mx", "gm", "tcp"]
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_connect_and_exchange(kind):
+    env, a, b, ma, mb = make_pair(kind)
+    cs, ss = connect_pair(env, ma, mb, kind)
+    spa, spb = a.new_process_space(), b.new_process_space()
+    va = spa.mmap(PAGE_SIZE)
+    vb = spb.mmap(PAGE_SIZE)
+    spa.write_bytes(va, b"over-the-socket")
+
+    def server(env):
+        n = yield from ss.recv(spb, vb, 64)
+        data = spb.read_bytes(vb, n)
+        spb.write_bytes(vb, data.upper())
+        yield from ss.send(spb, vb, n)
+
+    def client(env):
+        yield from cs.send(spa, va, 15)
+        n = yield from cs.recv(spa, va, 64)
+        return spa.read_bytes(va, n)
+
+    env.process(server(env))
+    got = env.run(until=env.process(client(env)))
+    assert got == b"OVER-THE-SOCKET"
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_large_transfer_integrity(kind):
+    env, a, b, ma, mb = make_pair(kind)
+    cs, ss = connect_pair(env, ma, mb, kind)
+    spa, spb = a.new_process_space(), b.new_process_space()
+    size = 256 * 1024
+    payload = bytes((i * 31) % 256 for i in range(size))
+    va = spa.mmap(size)
+    vb = spb.mmap(size)
+    spa.write_bytes(va, payload)
+
+    def server(env):
+        n = yield from ss.recv(spb, vb, size)
+        return n
+
+    def client(env):
+        yield from cs.send(spa, va, size)
+
+    p = env.process(server(env))
+    env.process(client(env))
+    assert env.run(until=p) == size
+    assert spb.read_bytes(vb, size) == payload
+
+
+@pytest.mark.parametrize("kind", ["mx", "gm"])
+def test_oversized_message_raises(kind):
+    env, a, b, ma, mb = make_pair(kind)
+    cs, ss = connect_pair(env, ma, mb, kind)
+    spa, spb = a.new_process_space(), b.new_process_space()
+    va = spa.mmap(PAGE_SIZE)
+    vb = spb.mmap(PAGE_SIZE)
+
+    def server(env):
+        yield from ss.recv(spb, vb, 16)  # too small for the 4096-byte send
+
+    def client(env):
+        yield from cs.send(spa, va, 4096)
+
+    p = env.process(server(env))
+    env.process(client(env))
+    with pytest.raises(SocketError):
+        env.run(until=p)
+
+
+def test_closed_socket_raises():
+    env, a, b, ma, mb = make_pair("mx")
+    cs, ss = connect_pair(env, ma, mb, "mx")
+    spa = a.new_process_space()
+    va = spa.mmap(PAGE_SIZE)
+    cs.close()
+    with pytest.raises(SocketError):
+        env.run(until=env.process(cs.send(spa, va, 4)))
+
+
+def _one_way_us(kind, size, rounds=10):
+    env, a, b, ma, mb = make_pair(kind)
+    cs, ss = connect_pair(env, ma, mb, kind)
+    spa, spb = a.new_process_space(), b.new_process_space()
+    va = spa.mmap(max(size, PAGE_SIZE), populate=True)
+    vb = spb.mmap(max(size, PAGE_SIZE), populate=True)
+    times = {}
+
+    def server(env):
+        for _ in range(rounds + 2):
+            yield from ss.recv(spb, vb, size)
+            yield from ss.send(spb, vb, size)
+
+    def client(env):
+        for i in range(rounds + 2):
+            if i == 2:
+                times["t0"] = env.now
+            yield from cs.send(spa, va, size)
+            yield from cs.recv(spa, va, size)
+        times["t1"] = env.now
+
+    env.process(server(env))
+    env.run(until=env.process(client(env)))
+    return (times["t1"] - times["t0"]) / (2 * rounds) / 1000
+
+
+def test_sockets_mx_one_byte_latency_is_5_us():
+    """Paper section 5.3: 5 us one-way, only ~1 us over raw MX."""
+    assert _one_way_us("mx", 1) == pytest.approx(5.0, abs=0.6)
+
+
+def test_sockets_gm_one_byte_latency_is_15_us():
+    """Paper section 5.3: SOCKETS-GM gets 15 us one-way."""
+    assert _one_way_us("gm", 1) == pytest.approx(15.0, abs=1.5)
+
+
+def test_tcp_latency_much_higher_than_sockets_mx():
+    """Paper section 5.3: 'A common GIGA-ETHERNET network might get
+    much more'."""
+    tcp = _one_way_us("tcp", 1)
+    mx = _one_way_us("mx", 1)
+    assert tcp > 5 * mx
+
+
+def test_sockets_mx_bandwidth_improvements_over_gm():
+    """Figure 8(b): medium ~2x (up to 100 %), large ~1.5x (up to 50 %)."""
+
+    def bw(kind, size):
+        one_way_ns = _one_way_us(kind, size) * 1000
+        return size / one_way_ns * 1000  # MB/s
+
+    medium_gain = bw("mx", 4096) / bw("gm", 4096)
+    large_gain = bw("mx", 2**20) / bw("gm", 2**20)
+    assert 1.4 < medium_gain < 2.3
+    assert 1.3 < large_gain < 1.7
+    # GM stays under ~70 % of the 500 MB/s link (table 1).
+    assert bw("gm", 2**20) < 0.70 * 500
+    assert bw("mx", 2**20) > 0.93 * 500

@@ -1,0 +1,160 @@
+"""Tests for file-backed mmap (VFS mmap_file/msync over ORFS)."""
+
+import pytest
+
+from repro.cluster import node_pair
+from repro.core import MxKernelChannel
+from repro.errors import Einval
+from repro.gm.kernel import GmKernelPort
+from repro.gmkrc import Gmkrc
+from repro.kernel import OpenFlags
+from repro.kernel.vfs import UserBuffer
+from repro.mem.layout import sg_from_frames
+from repro.orfa.server import OrfaServer
+from repro.orfs import mount_orfs
+from repro.sim import Environment
+from repro.units import PAGE_SIZE, us
+
+
+def build():
+    env = Environment()
+    client_node, server_node = node_pair(env)
+    server = OrfaServer(server_node, 3, api="mx")
+    env.run(until=server.start())
+    channel = MxKernelChannel(client_node, 4)
+    mount_orfs(client_node, channel, (server_node.node_id, 3))
+    attrs = env.run(until=env.process(server.fs.create(1, "f")))
+    payload = bytes((i * 17) % 256 for i in range(4 * PAGE_SIZE))
+    server.fs.write_raw(attrs.inode_id, 0, payload)
+    return env, client_node, server, payload
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+def test_mmap_reads_file_contents(build_rig=None):
+    env, node, server, payload = build()
+    space = node.new_process_space()
+
+    def script(env):
+        fd = yield from node.vfs.open("/orfs/f")
+        vaddr = yield from node.vfs.mmap_file(fd, space, 4 * PAGE_SIZE)
+        data = space.read_bytes(vaddr, 4 * PAGE_SIZE)
+        yield from node.vfs.close(fd)
+        return data
+
+    assert run(env, script(env)) == payload
+
+
+def test_mmap_shares_frames_with_page_cache():
+    """Stores through the mapping are visible to buffered readers at
+    once: one physical copy (MAP_SHARED)."""
+    env, node, server, payload = build()
+    space = node.new_process_space()
+
+    def script(env):
+        fd = yield from node.vfs.open("/orfs/f", OpenFlags.RDWR)
+        vaddr = yield from node.vfs.mmap_file(fd, space, PAGE_SIZE)
+        space.write_bytes(vaddr + 10, b"VIA-MMAP")
+        out = space.mmap(PAGE_SIZE)
+        node.vfs.seek(fd, 0)
+        n = yield from node.vfs.read(fd, UserBuffer(space, out, PAGE_SIZE))
+        data = space.read_bytes(out + 10, 8)
+        yield from node.vfs.close(fd)
+        return data
+
+    assert run(env, script(env)) == b"VIA-MMAP"
+
+
+def test_two_processes_share_one_mapping():
+    env, node, server, payload = build()
+    s1 = node.new_process_space()
+    s2 = node.new_process_space()
+
+    def script(env):
+        fd = yield from node.vfs.open("/orfs/f", OpenFlags.RDWR)
+        v1 = yield from node.vfs.mmap_file(fd, s1, PAGE_SIZE)
+        v2 = yield from node.vfs.mmap_file(fd, s2, PAGE_SIZE)
+        s1.write_bytes(v1, b"from-process-1")
+        return s2.read_bytes(v2, 14)
+
+    assert run(env, script(env)) == b"from-process-1"
+
+
+def test_msync_makes_mapped_writes_durable():
+    env, node, server, payload = build()
+    space = node.new_process_space()
+
+    def script(env):
+        fd = yield from node.vfs.open("/orfs/f", OpenFlags.RDWR)
+        vaddr = yield from node.vfs.mmap_file(fd, space, 2 * PAGE_SIZE)
+        space.write_bytes(vaddr + 100, b"DURABLE?")
+        yield from node.vfs.msync(space, vaddr)
+        yield from node.vfs.close(fd)
+
+    run(env, script(env))
+    assert server.fs.read_raw(2, 100, 8) == b"DURABLE?"
+
+
+def test_munmap_file_keeps_cache_pages():
+    env, node, server, payload = build()
+    space = node.new_process_space()
+
+    def script(env):
+        fd = yield from node.vfs.open("/orfs/f")
+        vaddr = yield from node.vfs.mmap_file(fd, space, 2 * PAGE_SIZE)
+        yield from node.vfs.munmap_file(space, vaddr)
+        yield from node.vfs.close(fd)
+        return vaddr
+
+    cached_before = len(node.pagecache)
+    vaddr = run(env, script(env))
+    assert len(node.pagecache) >= cached_before  # pages survived
+    from repro.errors import BadAddress
+    with pytest.raises(BadAddress):
+        space.read_bytes(vaddr, 1)
+
+
+def test_mmap_rejects_bad_arguments():
+    env, node, server, payload = build()
+    space = node.new_process_space()
+
+    def script(env):
+        fd = yield from node.vfs.open("/orfs/f")
+        with pytest.raises(Einval):
+            yield from node.vfs.mmap_file(fd, space, PAGE_SIZE, offset=100)
+        with pytest.raises(Einval):
+            yield from node.vfs.mmap_file(fd, space, 0)
+        with pytest.raises(Einval):
+            yield from node.vfs.msync(space, 0xDEAD000)
+
+    run(env, script(env))
+
+
+def test_gm_can_send_mmaped_file_pages_through_regcache():
+    """The full-circle test: a file mmap'ed on the client is registered
+    through GMKRC and sent zero-copy — the file's page-cache frames go
+    straight onto the wire."""
+    env, node, server, payload = build()
+    # a second node pair for the GM transfer
+    peer = server.node  # reuse the server node as the GM peer
+    gm_a = GmKernelPort(node, 8)
+    gm_b = GmKernelPort(peer, 8)
+    cache = Gmkrc(gm_a, node.vmaspy)
+    space = node.new_process_space()
+    dst = peer.kspace.kmalloc(PAGE_SIZE)
+
+    def script(env):
+        fd = yield from node.vfs.open("/orfs/f")
+        vaddr = yield from node.vfs.mmap_file(fd, space, PAGE_SIZE)
+        yield from gm_b.provide_receive_buffer_physical(
+            sg_from_frames(dst.frames, 0, PAGE_SIZE))
+        key, entry = yield from cache.acquire(space, vaddr, PAGE_SIZE)
+        yield from gm_a.send_registered(peer.node_id, 8, key, 64)
+        event = yield from gm_b.receive_event(blocking=True)
+        cache.release(entry)
+        return peer.kspace.read_bytes(dst.vaddr, 64)
+
+    got = run(env, script(env))
+    assert got == payload[:64]

@@ -1,0 +1,83 @@
+"""Tests for the workload generators and the pattern runner."""
+
+import pytest
+
+from repro.bench.fileio import build_orfs
+from repro.bench.workloads import (
+    hot_cold,
+    run_access_pattern,
+    sequential,
+    strided,
+    uniform_random,
+)
+from repro.units import KiB, MiB, PAGE_SIZE
+
+
+# -- generators --------------------------------------------------------------
+
+
+def test_sequential_covers_file_exactly():
+    reqs = list(sequential(100_000, 16 * KiB))
+    assert sum(n for _, n in reqs) == 100_000
+    offsets = [o for o, _ in reqs]
+    assert offsets == sorted(offsets)
+    assert offsets[0] == 0
+
+
+def test_strided_covers_every_block_once():
+    reqs = list(strided(256 * KiB, 4 * KiB, 64 * KiB))
+    offsets = sorted(o for o, _ in reqs)
+    assert offsets == list(range(0, 256 * KiB, 4 * KiB))
+
+
+def test_strided_validates_stride():
+    with pytest.raises(ValueError):
+        list(strided(1 * MiB, 4096, 10_000))
+
+
+def test_uniform_random_is_deterministic_and_aligned():
+    a = list(uniform_random(1 * MiB, 8 * KiB, 50, seed=7))
+    b = list(uniform_random(1 * MiB, 8 * KiB, 50, seed=7))
+    assert a == b
+    assert all(o % (8 * KiB) == 0 and o + n <= 1 * MiB for o, n in a)
+    c = list(uniform_random(1 * MiB, 8 * KiB, 50, seed=8))
+    assert c != a
+
+
+def test_hot_cold_concentrates_on_hot_region():
+    reqs = list(hot_cold(1 * MiB, 4 * KiB, 500, hot_fraction=0.1,
+                         hot_hit_pct=90, seed=3))
+    hot_limit = int(1 * MiB * 0.1)
+    hot = sum(1 for o, _ in reqs if o < hot_limit)
+    assert hot > 0.8 * len(reqs)
+
+
+# -- the runner over ORFS ------------------------------------------------------
+
+
+def test_hot_cold_gets_better_cache_ratio_than_uniform():
+    rig = build_orfs("mx", file_size=MiB)
+    node = rig.client_node
+
+    def measure(pattern):
+        for k in range(8):
+            node.pagecache.invalidate_inode(k)
+        proc = rig.env.process(
+            run_access_pattern(node, "/orfs/bench", pattern))
+        return rig.env.run(until=proc)
+
+    uni = measure(uniform_random(MiB, PAGE_SIZE, 200, seed=5))
+    hot = measure(hot_cold(MiB, PAGE_SIZE, 200, seed=5))
+    assert hot.hit_ratio > uni.hit_ratio
+    assert hot.throughput_mb_s > uni.throughput_mb_s
+
+
+def test_direct_random_bypasses_cache_entirely():
+    rig = build_orfs("mx", file_size=MiB)
+    node = rig.client_node
+    proc = rig.env.process(
+        run_access_pattern(node, "/orfs/bench",
+                           uniform_random(MiB, 8 * KiB, 32), direct=True))
+    result = rig.env.run(until=proc)
+    assert result.cache_misses == 0 and result.cache_hits == 0
+    assert result.bytes_moved == 32 * 8 * KiB
