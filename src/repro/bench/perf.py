@@ -1,0 +1,203 @@
+"""Engine/allocator self-benchmarks: track the simulator's own speed.
+
+The paper's argument is that per-operation bookkeeping must come off the
+data path; for this reproduction the "data path" is the discrete-event
+engine and the physical frame allocator that every figure driver and
+test exercises.  This module measures both in isolation —
+
+* **engine**: events processed per second, split into the heap path
+  (delayed timeouts) and the immediate path (delay-0 resource grants /
+  Store hand-offs), via a timeout-chain workload and a Store ping-pong
+  workload;
+* **allocator**: single-frame alloc/free cycles per second and
+  contiguous (kmalloc-style) allocations per second over a fragmented
+  pool,
+
+and writes the numbers to ``BENCH_engine.json`` so the performance
+trajectory is visible across PRs.
+
+Usage::
+
+    python -m repro.bench.perf                 # full run, writes BENCH_engine.json
+    python -m repro.bench.perf --quick         # CI smoke (~1 s)
+    python -m repro.bench.perf --out path.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from ..mem.phys import PhysicalMemory
+from ..sim import Environment
+from ..sim.resources import Store
+
+
+# ---------------------------------------------------------------------------
+# engine benchmarks
+# ---------------------------------------------------------------------------
+
+
+def bench_engine_heap(procs: int = 10, timeouts: int = 20_000) -> dict:
+    """Events/sec through the heap: ``procs`` chains of delayed timeouts."""
+    env = Environment()
+
+    def chain(env, delay):
+        for _ in range(timeouts):
+            yield env.timeout(delay)
+
+    for i in range(procs):
+        env.process(chain(env, i + 1))
+    # per process: 1 start + `timeouts` timeout events + 1 completion
+    events = procs * (timeouts + 2)
+    t0 = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - t0
+    return {"events": events, "elapsed_s": elapsed,
+            "events_per_sec": events / elapsed}
+
+
+def bench_engine_immediate(pairs: int = 10, rounds: int = 10_000) -> dict:
+    """Events/sec through the immediate queue: Store ping-pong pairs."""
+    env = Environment()
+
+    def pinger(env, tx, rx):
+        for _ in range(rounds):
+            tx.put(1)
+            yield rx.get()
+
+    def ponger(env, tx, rx):
+        for _ in range(rounds):
+            yield rx.get()
+            tx.put(1)
+
+    for _ in range(pairs):
+        a2b = Store(env, "a2b")
+        b2a = Store(env, "b2a")
+        env.process(pinger(env, a2b, b2a))
+        env.process(ponger(env, b2a, a2b))
+    # per pair per round: 2 get events (puts complete them inline);
+    # plus 2 starts and 2 completions per pair
+    events = pairs * (2 * rounds + 4)
+    t0 = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - t0
+    return {"events": events, "elapsed_s": elapsed,
+            "events_per_sec": events / elapsed}
+
+
+# ---------------------------------------------------------------------------
+# allocator benchmarks
+# ---------------------------------------------------------------------------
+
+
+def bench_alloc_single(frames: int = 4096, cycles: int = 20) -> dict:
+    """Single-frame ops/sec: fill the pool, drain it, repeat."""
+    phys = PhysicalMemory(frames)
+    ops = 0
+    t0 = time.perf_counter()
+    for _ in range(cycles):
+        allocated = [phys.alloc() for _ in range(frames)]
+        for frame in allocated:
+            phys.free(frame)
+        ops += 2 * frames
+    elapsed = time.perf_counter() - t0
+    return {"ops": ops, "elapsed_s": elapsed, "ops_per_sec": ops / elapsed}
+
+
+def bench_alloc_contiguous(frames: int = 4096, run_len: int = 8,
+                           cycles: int = 200) -> dict:
+    """Contiguous ops/sec over a fragmented pool (worst case for kmalloc).
+
+    Fragments the pool by pinning every 16th frame, then repeatedly
+    allocates and frees ``run_len``-frame runs from the holes between.
+    """
+    phys = PhysicalMemory(frames)
+    step = 16
+    holders = [phys.alloc() for _ in range(frames)]
+    kept_pfns = {frame.pfn for frame in holders[::step]}
+    for frame in holders:
+        if frame.pfn not in kept_pfns:
+            phys.free(frame)
+    # free pool is now many short runs of (step-1) frames between pins
+    ops = 0
+    t0 = time.perf_counter()
+    for _ in range(cycles):
+        taken = [phys.alloc_contiguous(run_len)
+                 for _ in range(frames // step // 2)]
+        for run in taken:
+            for frame in run:
+                phys.free(frame)
+        ops += 2 * len(taken)
+    elapsed = time.perf_counter() - t0
+    return {"ops": ops, "elapsed_s": elapsed, "ops_per_sec": ops / elapsed,
+            "run_len": run_len, "free_runs": len(phys.free_runs())}
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def run_perf(quick: bool = False) -> dict:
+    """Run all self-benchmarks; returns the report dict."""
+    scale = 10 if quick else 1
+    report = {
+        "schema": "repro-perf/1",
+        "quick": quick,
+        "engine": {
+            "heap": bench_engine_heap(timeouts=20_000 // scale),
+            "immediate": bench_engine_immediate(rounds=10_000 // scale),
+        },
+        "allocator": {
+            "single_frame": bench_alloc_single(cycles=20 // scale or 1),
+            "contiguous": bench_alloc_contiguous(cycles=200 // scale),
+        },
+    }
+    eng = report["engine"]
+    alloc = report["allocator"]
+    report["summary"] = {
+        "engine_events_per_sec": round(
+            (eng["heap"]["events"] + eng["immediate"]["events"])
+            / (eng["heap"]["elapsed_s"] + eng["immediate"]["elapsed_s"])),
+        "allocator_ops_per_sec": round(
+            (alloc["single_frame"]["ops"] + alloc["contiguous"]["ops"])
+            / (alloc["single_frame"]["elapsed_s"]
+               + alloc["contiguous"]["elapsed_s"])),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-perf",
+        description="Self-benchmark the event engine and frame allocator",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke, ~1 s)")
+    parser.add_argument("--out", default="BENCH_engine.json", metavar="PATH",
+                        help="where to write the JSON report "
+                             "(default: BENCH_engine.json; '-' for stdout only)")
+    args = parser.parse_args(argv)
+    report = run_perf(quick=args.quick)
+    text = json.dumps(report, indent=2) + "\n"
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    for line in (
+        f"engine heap      : {report['engine']['heap']['events_per_sec']:>12,.0f} events/s",
+        f"engine immediate : {report['engine']['immediate']['events_per_sec']:>12,.0f} events/s",
+        f"alloc single     : {report['allocator']['single_frame']['ops_per_sec']:>12,.0f} ops/s",
+        f"alloc contiguous : {report['allocator']['contiguous']['ops_per_sec']:>12,.0f} ops/s",
+    ):
+        print(line, file=sys.stderr if args.out == "-" else sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

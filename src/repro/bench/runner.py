@@ -5,8 +5,16 @@ Usage::
     python -m repro.bench fig5a          # one experiment
     python -m repro.bench table1
     python -m repro.bench all            # everything (several minutes)
+    python -m repro.bench all --parallel 4   # fan out over 4 processes
+    python -m repro.bench all --timings  # per-figure wall-clock to stderr
     python -m repro.bench fig6 --json    # machine-readable series
     python -m repro.bench --list
+
+Every figure driver builds its own :class:`~repro.sim.Environment`, so
+the experiments share no state and ``--parallel N`` can fan them out
+over a ``ProcessPoolExecutor``.  Results are printed in the requested
+order regardless of which worker finishes first, so parallel output is
+byte-identical to sequential output.
 """
 
 from __future__ import annotations
@@ -14,10 +22,44 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from .figures import FIGURES, run_figure
 
 ALL = sorted(FIGURES) + ["table1"]
+
+
+def _run_text(name: str) -> tuple[str, str, float]:
+    """Worker: render one experiment; returns (name, text, seconds)."""
+    t0 = time.perf_counter()
+    text = run_figure(name)
+    return name, text, time.perf_counter() - t0
+
+
+def _run_json(name: str) -> tuple[str, dict, float]:
+    """Worker: run one figure for --json; returns (name, payload, seconds)."""
+    t0 = time.perf_counter()
+    data = FIGURES[name]()
+    payload = {
+        "title": data.title,
+        "xlabel": data.xlabel,
+        "unit": data.unit,
+        "xs": list(data.xs),
+        "series": {k: list(v) for k, v in data.series.items()},
+    }
+    return name, payload, time.perf_counter() - t0
+
+
+def _execute(names: list[str], worker, jobs: int):
+    """Run ``worker`` over ``names``, optionally in parallel; keep order."""
+    if jobs > 1 and len(names) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = {name: (payload, secs)
+                       for name, payload, secs in pool.map(worker, names)}
+        return [(name, *results[name]) for name in names]
+    return [worker(name)[0:3] for name in names]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -32,38 +74,41 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", action="store_true",
                         help="emit the series as JSON instead of tables "
                              "(table1 is text-only and is skipped)")
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="run experiments over N worker processes "
+                             "(each figure builds its own Environment, so "
+                             "results are identical to a sequential run)")
+    parser.add_argument("--timings", action="store_true",
+                        help="report per-experiment wall-clock on stderr")
     args = parser.parse_args(argv)
     if args.list or not args.experiments:
         print("\n".join(ALL))
         return 0
+    if args.parallel < 1:
+        print(f"--parallel must be >= 1, got {args.parallel}", file=sys.stderr)
+        return 2
     names = ALL if args.experiments == ["all"] else args.experiments
-    if args.json:
-        out = {}
-        for name in names:
-            if name == "table1":
-                continue
-            try:
-                fn = FIGURES[name]
-            except KeyError:
-                print(f"unknown experiment {name!r}", file=sys.stderr)
-                return 2
-            data = fn()
-            out[name] = {
-                "title": data.title,
-                "xlabel": data.xlabel,
-                "unit": data.unit,
-                "xs": list(data.xs),
-                "series": {k: list(v) for k, v in data.series.items()},
-            }
-        print(json.dumps(out, indent=2))
-        return 0
     for name in names:
-        try:
-            print(run_figure(name))
-        except KeyError as exc:
-            print(exc, file=sys.stderr)
+        if name not in ALL:
+            print(f"unknown experiment {name!r}", file=sys.stderr)
             return 2
-        print()
+
+    t_all = time.perf_counter()
+    if args.json:
+        names = [n for n in names if n != "table1"]
+        results = _execute(names, _run_json, args.parallel)
+        print(json.dumps({name: payload for name, payload, _ in results},
+                         indent=2))
+    else:
+        results = _execute(names, _run_text, args.parallel)
+        for _, text, _ in results:
+            print(text)
+            print()
+    if args.timings:
+        for name, _, secs in results:
+            print(f"[timing] {name:8s} {secs:7.3f} s", file=sys.stderr)
+        print(f"[timing] total    {time.perf_counter() - t_all:7.3f} s "
+              f"(parallel={args.parallel})", file=sys.stderr)
     return 0
 
 

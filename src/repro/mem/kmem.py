@@ -105,26 +105,26 @@ class KernelSpace:
         page_index = (vaddr - alloc.vaddr) >> 12
         return alloc.frames[page_index].phys_addr | (vaddr & PAGE_MASK)
 
-    def write_bytes(self, vaddr: int, data: bytes) -> None:
+    def write_bytes(self, vaddr: int, data: "bytes | bytearray | memoryview") -> None:
         """Store ``data`` at a kernel virtual address."""
         view = memoryview(data)
         addr = vaddr
         while view:
             phys = self.translate(addr)
             chunk = min(len(view), PAGE_SIZE - (phys & PAGE_MASK))
-            self.phys.write_phys(phys, bytes(view[:chunk]))
+            self.phys.write_phys(phys, view[:chunk])
             addr += chunk
             view = view[chunk:]
 
     def read_bytes(self, vaddr: int, length: int) -> bytes:
         """Load ``length`` bytes from a kernel virtual address."""
-        out = bytearray()
+        chunks = []
         addr = vaddr
         remaining = length
         while remaining > 0:
             phys = self.translate(addr)
             chunk = min(remaining, PAGE_SIZE - (phys & PAGE_MASK))
-            out += self.phys.read_phys(phys, chunk)
+            chunks.append(self.phys.read_phys(phys, chunk))
             addr += chunk
             remaining -= chunk
-        return bytes(out)
+        return b"".join(chunks)

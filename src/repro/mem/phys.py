@@ -13,6 +13,7 @@ cache (always-resident pages) end up bumping the same counter in Linux.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Optional
 
 from ..errors import OutOfMemory, PinningError
@@ -57,7 +58,7 @@ class Frame:
             return _ZERO_PAGE[offset : offset + length]
         return bytes(self._data[offset : offset + length])
 
-    def write(self, offset: int, data: bytes) -> None:
+    def write(self, offset: int, data: "bytes | bytearray | memoryview") -> None:
         """Write ``data`` at ``offset`` within the frame."""
         self._check_range(offset, len(data))
         if self._data is None:
@@ -72,11 +73,18 @@ class Frame:
 
 
 class PhysicalMemory:
-    """Fixed-size pool of frames with O(1) alloc/free.
+    """Fixed-size pool of frames with O(log n) alloc/free.
 
-    ``alloc_contiguous`` serves kmalloc-style requests needing physically
-    adjacent frames; it scans for the lowest adjacent run, which is
-    plenty for simulation scale.
+    The free pool is a sorted list of coalesced *free runs* — maximal
+    intervals ``[start, end)`` of contiguous free PFNs, held as the
+    parallel arrays ``_run_starts``/``_run_ends``.  Single-frame
+    allocation takes the head of the lowest run (the deterministic
+    lowest-PFN policy the old ``min()``-over-a-set implementation had,
+    without the O(n) scan); ``free`` re-inserts by binary search and
+    coalesces with both neighbours; ``alloc_contiguous`` serves
+    kmalloc-style requests by walking the run list for the lowest run
+    long enough — the run list is tiny compared to the frame count, so
+    this replaces the old sort-everything-per-call scan.
     """
 
     def __init__(self, total_frames: int):
@@ -84,22 +92,34 @@ class PhysicalMemory:
             raise ValueError(f"need at least 1 frame, got {total_frames}")
         self.total_frames = total_frames
         self._frames: dict[int, Frame] = {}
-        self._free: set[int] = set(range(total_frames))
+        self._run_starts: list[int] = [0]
+        self._run_ends: list[int] = [total_frames]
+        self._free_count = total_frames
 
     @property
     def free_frames(self) -> int:
-        return len(self._free)
+        return self._free_count
 
     @property
     def allocated_frames(self) -> int:
-        return self.total_frames - len(self._free)
+        return self.total_frames - self._free_count
+
+    def free_runs(self) -> list[tuple[int, int]]:
+        """Snapshot of the free pool as ``(start, end)`` half-open runs."""
+        return list(zip(self._run_starts, self._run_ends))
 
     def alloc(self) -> Frame:
-        """Allocate one frame (any PFN)."""
-        if not self._free:
+        """Allocate one frame (lowest free PFN, deterministic)."""
+        starts = self._run_starts
+        if not starts:
             raise OutOfMemory("no free physical frames")
-        pfn = min(self._free)  # deterministic choice
-        self._free.discard(pfn)
+        pfn = starts[0]
+        if pfn + 1 == self._run_ends[0]:
+            del starts[0]
+            del self._run_ends[0]
+        else:
+            starts[0] = pfn + 1
+        self._free_count -= 1
         frame = Frame(pfn)
         self._frames[pfn] = frame
         return frame
@@ -108,32 +128,49 @@ class PhysicalMemory:
         """Allocate ``count`` physically adjacent frames (kmalloc model)."""
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
-        if count > len(self._free):
-            raise OutOfMemory(f"need {count} frames, only {len(self._free)} free")
-        candidates = sorted(self._free)
-        run_start = 0
-        for i in range(1, len(candidates) + 1):
-            if i == len(candidates) or candidates[i] != candidates[i - 1] + 1:
-                if i - run_start >= count:
-                    pfns = candidates[run_start : run_start + count]
-                    frames = []
-                    for pfn in pfns:
-                        self._free.discard(pfn)
-                        frame = Frame(pfn)
-                        self._frames[pfn] = frame
-                        frames.append(frame)
-                    return frames
-                run_start = i
+        if count > self._free_count:
+            raise OutOfMemory(f"need {count} frames, only {self._free_count} free")
+        starts, ends = self._run_starts, self._run_ends
+        for i, start in enumerate(starts):
+            if ends[i] - start >= count:
+                if start + count == ends[i]:
+                    del starts[i]
+                    del ends[i]
+                else:
+                    starts[i] = start + count
+                self._free_count -= count
+                frames = []
+                for pfn in range(start, start + count):
+                    frame = Frame(pfn)
+                    self._frames[pfn] = frame
+                    frames.append(frame)
+                return frames
         raise OutOfMemory(f"no physically contiguous run of {count} frames")
 
     def free(self, frame: Frame) -> None:
         """Return a frame to the pool; pinned frames cannot be freed."""
         if frame.pinned:
             raise PinningError(f"freeing pinned frame pfn={frame.pfn}")
-        if frame.pfn not in self._frames:
-            raise ValueError(f"double free of frame pfn={frame.pfn}")
-        del self._frames[frame.pfn]
-        self._free.add(frame.pfn)
+        pfn = frame.pfn
+        if pfn not in self._frames:
+            raise ValueError(f"double free of frame pfn={pfn}")
+        del self._frames[pfn]
+        starts, ends = self._run_starts, self._run_ends
+        i = bisect_right(starts, pfn)
+        merge_left = i > 0 and ends[i - 1] == pfn
+        merge_right = i < len(starts) and starts[i] == pfn + 1
+        if merge_left and merge_right:
+            ends[i - 1] = ends[i]
+            del starts[i]
+            del ends[i]
+        elif merge_left:
+            ends[i - 1] = pfn + 1
+        elif merge_right:
+            starts[i] = pfn
+        else:
+            starts.insert(i, pfn)
+            ends.insert(i, pfn + 1)
+        self._free_count += 1
 
     def frame(self, pfn: int) -> Frame:
         """Look up an allocated frame by PFN."""
@@ -150,19 +187,19 @@ class PhysicalMemory:
 
     def read_phys(self, phys_addr: int, length: int) -> bytes:
         """Read bytes starting at a physical address, crossing frames."""
-        out = bytearray()
+        chunks = []
         addr = phys_addr
         remaining = length
         while remaining > 0:
             frame = self.frame(addr >> PAGE_SHIFT)
             offset = addr & (PAGE_SIZE - 1)
             chunk = min(remaining, PAGE_SIZE - offset)
-            out += frame.read(offset, chunk)
+            chunks.append(frame.read(offset, chunk))
             addr += chunk
             remaining -= chunk
-        return bytes(out)
+        return b"".join(chunks)
 
-    def write_phys(self, phys_addr: int, data: bytes) -> None:
+    def write_phys(self, phys_addr: int, data: "bytes | bytearray | memoryview") -> None:
         """Write bytes starting at a physical address, crossing frames."""
         addr = phys_addr
         view = memoryview(data)
@@ -170,6 +207,6 @@ class PhysicalMemory:
             frame = self.frame(addr >> PAGE_SHIFT)
             offset = addr & (PAGE_SIZE - 1)
             chunk = min(len(view), PAGE_SIZE - offset)
-            frame.write(offset, bytes(view[:chunk]))
+            frame.write(offset, view[:chunk])
             addr += chunk
             view = view[chunk:]

@@ -2,19 +2,38 @@
 
 The engine is deliberately small and fully deterministic:
 
-* :class:`Environment` owns the clock (``int`` nanoseconds) and a heap
-  of ``(time, seq, event)`` triples.
+* :class:`Environment` owns the clock (``int`` nanoseconds) and two
+  queues: a heap of ``(time, seq, event)`` triples for *delayed* events
+  and a plain FIFO for *immediate* (delay-0) events.
 * :class:`Event` is a one-shot future.  Callbacks registered on it run
-  when it is *processed* (popped from the heap), not when triggered.
+  when it is *processed* (popped from a queue), not when triggered.
 * :class:`Process` drives a generator; each yielded event suspends the
   generator until that event fires.  Values flow back through
   ``send``/``throw`` exactly like SimPy, so hardware models read as
   straight-line code.
+
+Fast path
+---------
+
+Most events in the simulated system are delay-0: resource grants,
+``Store`` puts, process initiation, process completion.  Routing them
+through the heap costs a ``heappush``/``heappop`` pair each, so the
+engine keeps a dedicated FIFO "immediate queue" for them instead.
+
+Ordering stays bit-identical to the single-heap engine because of one
+invariant: *heap entries at the current timestamp always predate every
+queued immediate event*.  A heap entry at time ``T`` was scheduled while
+``now < T`` (its delay was positive), whereas an immediate event is
+created at ``now == T`` and is always drained before the clock advances
+past ``T``.  Hence draining heap entries at the current time first, then
+the immediate FIFO, reproduces exactly the global ``(time, seq)`` order
+the heap alone would have produced.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..errors import ProcessInterrupt, SimulationError
@@ -26,9 +45,9 @@ _PENDING = object()
 class Event:
     """A one-shot occurrence with an optional value.
 
-    Lifecycle: *pending* -> ``succeed``/``fail`` (triggered, queued on the
-    heap) -> *processed* (callbacks run).  An event may only be triggered
-    once; triggering twice is a bug in the model and raises.
+    Lifecycle: *pending* -> ``succeed``/``fail`` (triggered, queued) ->
+    *processed* (callbacks run).  An event may only be triggered once;
+    triggering twice is a bug in the model and raises.
     """
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "name")
@@ -50,13 +69,13 @@ class Event:
 
     @property
     def processed(self) -> bool:
-        """True once callbacks have run (the event left the heap)."""
+        """True once callbacks have run (the event left the queue)."""
         return self.callbacks is None
 
     @property
     def ok(self) -> bool:
         """True if the event succeeded (valid only once triggered)."""
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError(f"event {self!r} not yet triggered")
         return self._ok
 
@@ -82,7 +101,7 @@ class Event:
         return self
 
     def _trigger(self, value: Any, ok: bool, delay: int) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"event {self!r} triggered twice")
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
@@ -121,6 +140,23 @@ class Timeout(Event):
         env._schedule(self, delay)
 
 
+class _Start:
+    """Minimal immediate-queue entry that kicks a new :class:`Process` off.
+
+    Duck-types the slice of the :class:`Event` interface the dispatch
+    loop and ``Process._resume`` touch (``callbacks``/``ok``/``value``)
+    without paying for a full ``Event`` + ``succeed()`` per process.
+    """
+
+    __slots__ = ("callbacks",)
+
+    ok = True
+    value = None
+
+    def __init__(self, callback: Callable[[Any], None]):
+        self.callbacks: Optional[list[Callable[[Any], None]]] = [callback]
+
+
 class Process(Event):
     """Wraps a generator; itself an Event that fires when the generator ends.
 
@@ -130,19 +166,21 @@ class Process(Event):
     throws :class:`ProcessInterrupt` at the current suspension point.
     """
 
-    __slots__ = ("_gen", "_waiting_on")
+    __slots__ = ("_gen", "_waiting_on", "_resume_cb")
 
     def __init__(self, env: "Environment", gen: Generator[Event, Any, Any], name: str = ""):
         if not hasattr(gen, "send") or not hasattr(gen, "throw"):
             raise SimulationError(f"Process needs a generator, got {gen!r}")
         super().__init__(env, name=name or getattr(gen, "__name__", "process"))
         self._gen = gen
-        self._waiting_on: Optional[Event] = None
-        # Kick off the generator at the current time via an initiation event.
-        init = Event(env, name=f"init:{self.name}")
-        init.succeed()
-        init.add_callback(self._resume)
-        self._waiting_on = init
+        # One bound method for the whole lifetime: registering a fresh
+        # bound ``self._resume`` per wait would allocate every time.
+        self._resume_cb = self._resume
+        # Kick off the generator at the current time via a lightweight
+        # startup entry on the immediate queue (no Event allocation).
+        start = _Start(self._resume_cb)
+        self._waiting_on: Optional[Any] = start
+        env._immediate.append(start)
 
     @property
     def is_alive(self) -> bool:
@@ -155,24 +193,28 @@ class Process(Event):
         The event it was waiting on is detached: if it later fires, the
         process does not see it (matching SimPy semantics closely enough
         for our models, which re-issue their waits after interrupt).
+        Detaching is O(1): ``_resume`` ignores any event that is no
+        longer the current wait target, so the old target's callback
+        list is never scanned — interrupt cost does not scale with how
+        many other waiters that event has.
         """
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt finished process {self.name}")
-        target = self._waiting_on
-        self._waiting_on = None
         interrupt_ev = Event(self.env, name=f"interrupt:{self.name}")
         interrupt_ev.fail(ProcessInterrupt(cause))
-        interrupt_ev.add_callback(self._resume)
-        # Detach from the original event so its firing is ignored.
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        # Delivered unconditionally (not via the _waiting_on guard) so
+        # stacked interrupts are all seen, as with the list-scan detach.
+        interrupt_ev.add_callback(self._deliver)
+        self._waiting_on = interrupt_ev
 
     # -- internal ------------------------------------------------------
 
-    def _resume(self, event: Event) -> None:
+    def _resume(self, event: Any) -> None:
+        if event is not self._waiting_on:
+            return  # stale firing of an event interrupt() detached us from
+        self._deliver(event)
+
+    def _deliver(self, event: Any) -> None:
         self._waiting_on = None
         try:
             if event.ok:
@@ -194,7 +236,11 @@ class Process(Event):
         if target.env is not self.env:
             raise SimulationError("cannot wait on an event from another Environment")
         self._waiting_on = target
-        target.add_callback(self._resume)
+        callbacks = target.callbacks
+        if callbacks is None:
+            self._resume(target)
+        else:
+            callbacks.append(self._resume_cb)
 
 
 class _Condition(Event):
@@ -218,7 +264,7 @@ class _Condition(Event):
     def _collect(self) -> dict[Event, Any]:
         # A Timeout is "triggered" at construction (its value is pre-set),
         # so membership must be judged by *processed* — has it actually
-        # fired on the heap — not by triggered.
+        # fired on the queue — not by triggered.
         return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
 
     def _check(self, event: Event) -> None:  # pragma: no cover - abstract
@@ -266,11 +312,12 @@ class AnyOf(_Condition):
 
 
 class Environment:
-    """The simulation world: clock, event heap, and process factory."""
+    """The simulation world: clock, event queues, and process factory."""
 
     def __init__(self):
         self._now: int = 0
         self._heap: list[tuple[int, int, Event]] = []
+        self._immediate: deque[Any] = deque()
         self._seq: int = 0
 
     @property
@@ -306,18 +353,28 @@ class Environment:
         if event._scheduled:
             raise SimulationError(f"event {event!r} scheduled twice")
         event._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        if delay == 0:
+            self._immediate.append(event)
+        else:
+            self._seq += 1
+            heapq.heappush(self._heap, (self._now + delay, self._seq, event))
 
     def step(self) -> None:
-        """Pop and process the next event; raises if the heap is empty."""
-        if not self._heap:
+        """Pop and process the next event; raises if both queues are empty."""
+        heap = self._heap
+        if heap and heap[0][0] == self._now:
+            event = heapq.heappop(heap)[2]
+        elif self._immediate:
+            event = self._immediate.popleft()
+        elif heap:
+            when, _, event = heapq.heappop(heap)
+            if when < self._now:
+                raise SimulationError("event scheduled in the past")
+            self._now = when
+        else:
             raise SimulationError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._heap)
-        if when < self._now:
-            raise SimulationError("event scheduled in the past")
-        self._now = when
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
+        event.callbacks = None
         assert callbacks is not None
         for fn in callbacks:
             fn(event)
@@ -325,34 +382,82 @@ class Environment:
     def run(self, until: Optional[int | Event] = None) -> Any:
         """Run the simulation.
 
-        * ``until=None``: run until the heap drains.
+        * ``until=None``: run until both queues drain.
         * ``until`` an ``int``: run until the clock reaches that time.
         * ``until`` an :class:`Event`: run until it is processed and
           return its value (raising its exception if it failed).
+
+        The three loops below share one inlined dispatch body (instead
+        of calling :meth:`step` per event) so the per-event cost is a
+        couple of comparisons plus the callbacks themselves.  Branch
+        order encodes the determinism invariant: heap entries at the
+        current time fire before queued immediates, immediates fire
+        before the clock advances.
         """
+        heap = self._heap
+        imm = self._immediate
+        pop = heapq.heappop
+
         if until is None:
-            while self._heap:
-                self.step()
-            return None
+            while True:
+                if heap and heap[0][0] == self._now:
+                    event = pop(heap)[2]
+                elif imm:
+                    event = imm.popleft()
+                elif heap:
+                    when, _, event = pop(heap)
+                    self._now = when
+                else:
+                    return None
+                callbacks = event.callbacks
+                event.callbacks = None
+                for fn in callbacks:
+                    fn(event)
+
         if isinstance(until, Event):
             target = until
-            while not target.processed:
-                if not self._heap:
+            while target.callbacks is not None:
+                if heap and heap[0][0] == self._now:
+                    event = pop(heap)[2]
+                elif imm:
+                    event = imm.popleft()
+                elif heap:
+                    when, _, event = pop(heap)
+                    self._now = when
+                else:
                     raise SimulationError(
                         f"event queue drained before {target!r} fired (deadlock?)"
                     )
-                self.step()
+                callbacks = event.callbacks
+                event.callbacks = None
+                for fn in callbacks:
+                    fn(event)
             if target.ok:
                 return target.value
             raise target.value
+
         deadline = int(until)
         if deadline < self._now:
             raise SimulationError(f"cannot run until {deadline} < now {self._now}")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        while True:
+            if heap and heap[0][0] == self._now:
+                event = pop(heap)[2]
+            elif imm:
+                event = imm.popleft()
+            elif heap and heap[0][0] <= deadline:
+                when, _, event = pop(heap)
+                self._now = when
+            else:
+                break
+            callbacks = event.callbacks
+            event.callbacks = None
+            for fn in callbacks:
+                fn(event)
         self._now = deadline
         return None
 
     def peek(self) -> Optional[int]:
-        """Timestamp of the next queued event, or None if the heap is empty."""
+        """Timestamp of the next queued event, or None if queues are empty."""
+        if self._immediate:
+            return self._now
         return self._heap[0][0] if self._heap else None

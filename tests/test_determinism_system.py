@@ -41,6 +41,29 @@ def test_orfs_full_stack_runs_identically():
     assert once() == once()
 
 
+#: Figure 5(a) series as produced by the seed (pre-fast-path) engine.
+#: The engine/allocator fast paths must not perturb a single value:
+#: scheduling order, clocks and arithmetic are required to be
+#: byte-identical to the original single-heap implementation.
+_FIG5A_SEED_GOLDEN = {
+    "xs": [1, 16, 256, 1024, 4096],
+    "series": {
+        "GM User": [6.704, 6.764, 7.724, 10.796, 23.084],
+        "GM Kernel": [8.704, 8.764, 9.724, 12.796, 25.084],
+        "MX User": [4.308, 4.419, 5.656, 9.426, 24.508],
+        "MX Kernel": [4.308, 4.419, 5.656, 9.426, 24.508],
+    },
+}
+
+
+def test_fig5a_series_byte_identical_to_seed():
+    from repro.bench.figures import fig5a
+
+    data = fig5a()
+    assert data.xs == _FIG5A_SEED_GOLDEN["xs"]
+    assert data.series == _FIG5A_SEED_GOLDEN["series"]
+
+
 def test_gm_registration_costs_identical_across_runs():
     def once():
         env = Environment()

@@ -25,6 +25,7 @@ def test_quickstart(capsys):
     assert "6.7" in out and "4.3" in out
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("api", ["mx", "gm"])
 def test_distributed_fs(api, capsys):
     run_example("distributed_fs.py", api)

@@ -121,6 +121,60 @@ def test_alloc_contiguous_failure_when_fragmented():
         phys.alloc_contiguous(2)
 
 
+def test_free_coalesces_adjacent_runs():
+    phys = PhysicalMemory(8)
+    frames = [phys.alloc() for _ in range(8)]
+    assert phys.free_runs() == []
+    # free out of order; runs must coalesce back to one full-range run
+    for i in (3, 5, 4):
+        phys.free(frames[i])
+    assert phys.free_runs() == [(3, 6)]
+    for i in (0, 7, 1, 6, 2):
+        phys.free(frames[i])
+    assert phys.free_runs() == [(0, 8)]
+    assert phys.free_frames == 8
+
+
+def test_alloc_after_fragmentation_and_coalescing():
+    # alloc -> free -> alloc_contiguous across a fragmented-then-healed
+    # pool: once the holes coalesce, a long run is servable again.
+    phys = PhysicalMemory(16)
+    frames = [phys.alloc() for _ in range(16)]
+    for i in range(0, 16, 2):  # free every other frame: 8 single-frame runs
+        phys.free(frames[i])
+    assert len(phys.free_runs()) == 8
+    with pytest.raises(OutOfMemory):
+        phys.alloc_contiguous(2)
+    for i in range(1, 16, 2):  # heal the holes
+        phys.free(frames[i])
+    assert phys.free_runs() == [(0, 16)]
+    got = phys.alloc_contiguous(12)
+    assert [f.pfn for f in got] == list(range(12))
+
+
+def test_alloc_contiguous_takes_lowest_fitting_run():
+    phys = PhysicalMemory(12)
+    frames = [phys.alloc() for _ in range(12)]
+    # free runs: [2,4) (len 2) and [6,10) (len 4)
+    for i in (2, 3, 6, 7, 8, 9):
+        phys.free(frames[i])
+    assert phys.free_runs() == [(2, 4), (6, 10)]
+    got = phys.alloc_contiguous(3)  # skips the too-short [2,4) run
+    assert [f.pfn for f in got] == [6, 7, 8]
+    assert phys.free_runs() == [(2, 4), (9, 10)]
+    # single-frame alloc still takes the lowest PFN overall
+    assert phys.alloc().pfn == 2
+
+
+def test_alloc_lowest_pfn_policy_preserved():
+    phys = PhysicalMemory(6)
+    frames = [phys.alloc() for _ in range(6)]
+    phys.free(frames[4])
+    phys.free(frames[1])
+    assert phys.alloc().pfn == 1  # lowest free PFN, deterministically
+    assert phys.alloc().pfn == 4
+
+
 def test_read_write_phys_crosses_frames():
     phys = PhysicalMemory(4)
     frames = phys.alloc_contiguous(2)

@@ -143,6 +143,7 @@ def test_open_missing_raises_enoent(api):
         run(env, node.vfs.open("/orfs/ghost"))
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("api", BACKENDS)
 def test_large_direct_read_is_chunked_but_complete(api):
     env, node, server, client = build(api)

@@ -11,6 +11,7 @@ Buffered and O_DIRECT modes are exercised; sizes are kept small so each
 example simulates in milliseconds.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import node_pair
@@ -102,6 +103,7 @@ def _apply(ops, direct: bool):
     return divergences
 
 
+@pytest.mark.slow
 @given(ops=_ops)
 @settings(max_examples=25, deadline=None)
 def test_buffered_orfs_matches_oracle(ops):

@@ -16,6 +16,7 @@ from repro.sim import Environment
 from repro.units import KiB, MiB
 
 
+@pytest.mark.slow
 def test_claim_orfs_mx_buffered_40_percent_over_gm():
     """Section 5.2: 'Buffered file access in ORFS on MX shows a 40 %
     improvement over GM.'"""

@@ -314,6 +314,143 @@ def test_peek_reports_next_event_time():
     assert env.peek() is None
 
 
+def test_delay0_events_fire_fifo():
+    # Multiple delay-0 triggers at one timestamp fire in trigger order.
+    env = Environment()
+    order = []
+    evs = [env.event() for _ in range(4)]
+
+    def waiter(env, i):
+        yield evs[i]
+        order.append(i)
+
+    def trigger(env):
+        yield env.timeout(3)
+        for ev in (evs[2], evs[0], evs[3], evs[1]):
+            ev.succeed()
+
+    for i in range(4):
+        env.process(waiter(env, i))
+    env.process(trigger(env))
+    env.run()
+    assert order == [2, 0, 3, 1]
+
+
+def test_delay0_fires_after_same_time_delayed_events():
+    # A delay-0 event created while processing time T must fire after
+    # every already-queued delayed event at T (the seed engine's
+    # (time, seq) order), not jump ahead of them.
+    env = Environment()
+    order = []
+    ev = env.event()
+
+    def early(env):
+        yield env.timeout(5)
+        order.append("early")
+        ev.succeed()  # delay-0, created at t=5
+
+    def late(env):
+        yield env.timeout(5)
+        order.append("late")
+
+    def waiter(env):
+        yield ev
+        order.append(("delay0", env.now))
+
+    env.process(waiter(env))
+    env.process(early(env))
+    env.process(late(env))
+    env.run()
+    assert order == ["early", "late", ("delay0", 5)]
+
+
+def test_delay0_before_run_fires_before_delayed():
+    env = Environment()
+    order = []
+    ev = env.event()
+    ev.succeed("x")
+
+    def waiter(env):
+        value = yield ev
+        order.append(("imm", value, env.now))
+
+    def delayed(env):
+        yield env.timeout(1)
+        order.append(("t1", env.now))
+
+    env.process(delayed(env))
+    env.process(waiter(env))
+    env.run()
+    assert order == [("imm", "x", 0), ("t1", 1)]
+
+
+def test_step_drains_immediate_and_delayed_in_order():
+    env = Environment()
+    fired = []
+    ev = env.event()
+    ev.succeed("now")
+    ev.add_callback(lambda e: fired.append(("imm", env.now)))
+    t = env.timeout(10)
+    t.add_callback(lambda e: fired.append(("t10", env.now)))
+    assert env.peek() == 0  # immediate event pending at the current time
+    env.step()
+    assert fired == [("imm", 0)]
+    assert env.peek() == 10
+    env.step()
+    assert fired == [("imm", 0), ("t10", 10)]
+
+
+def test_interrupt_leaves_other_waiters_attached():
+    # Detaching on interrupt is lazy; the shared event must still wake
+    # every other process waiting on it.
+    env = Environment()
+    log = []
+    shared = env.event()
+
+    def sleeper(env, tag):
+        try:
+            value = yield shared
+            log.append((tag, "got", value))
+        except ProcessInterrupt:
+            log.append((tag, "interrupted"))
+
+    def driver(env):
+        yield env.timeout(2)
+        victims[1].interrupt("x")
+        yield env.timeout(2)
+        shared.succeed("v")
+
+    victims = [env.process(sleeper(env, i)) for i in range(3)]
+    env.process(driver(env))
+    env.run()
+    assert log == [(1, "interrupted"), (0, "got", "v"), (2, "got", "v")]
+
+
+def test_interrupted_process_can_rewait_on_same_event():
+    env = Environment()
+    log = []
+    shared = env.event()
+
+    def sleeper(env):
+        try:
+            yield shared
+        except ProcessInterrupt:
+            log.append(("interrupted", env.now))
+            value = yield shared  # re-issue the wait on the same event
+            log.append(("got", value, env.now))
+
+    def driver(env, victim):
+        yield env.timeout(2)
+        victim.interrupt()
+        yield env.timeout(2)
+        shared.succeed("again")
+
+    victim = env.process(sleeper(env))
+    env.process(driver(env, victim))
+    env.run()
+    assert log == [("interrupted", 2), ("got", "again", 4)]
+
+
 def test_determinism_two_identical_runs():
     def build():
         env = Environment()

@@ -176,6 +176,7 @@ def test_tcp_latency_much_higher_than_sockets_mx():
     assert tcp > 5 * mx
 
 
+@pytest.mark.slow
 def test_sockets_mx_bandwidth_improvements_over_gm():
     """Figure 8(b): medium ~2x (up to 100 %), large ~1.5x (up to 50 %)."""
 
