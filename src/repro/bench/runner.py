@@ -63,6 +63,14 @@ def _execute(names: list[str], worker, jobs: int):
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "faults":
+        # The chaos driver is its own subcommand, deliberately NOT part
+        # of ``all``: zero-fault figure output must stay byte-identical.
+        from .faults import main as faults_main
+
+        return faults_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate tables/figures of Goglin et al., CLUSTER 2005",

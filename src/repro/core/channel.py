@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 from ..cluster.node import Node
-from ..errors import ReproError
+from ..errors import ReproError, TimeoutError_
 from ..gm.kernel import GmKernelPort
 from ..gmkrc.cache import Gmkrc
 from ..mem.layout import PhysSegment, sg_from_kernel
@@ -73,7 +73,7 @@ class KernelChannel:
     def wait_send(self, handle: ChannelSend):
         raise NotImplementedError
 
-    def wait_recv(self, handle: ChannelRecv):
+    def wait_recv(self, handle: ChannelRecv, timeout_ns: Optional[int] = None):
         raise NotImplementedError
 
     def wait_any_recv(self, handles: Sequence[ChannelRecv]):
@@ -113,8 +113,13 @@ class MxKernelChannel(KernelChannel):
             yield handle.event
         yield from self.endpoint.cpu.work(self.endpoint.costs.host_event_ns)
 
-    def wait_recv(self, handle: ChannelRecv):
-        req = yield from self.endpoint.wait(handle._req, blocking=True)
+    def wait_recv(self, handle: ChannelRecv, timeout_ns: Optional[int] = None):
+        req = yield from self.endpoint.wait(handle._req, blocking=True,
+                                            timeout_ns=timeout_ns)
+        if req is None:
+            raise TimeoutError_(
+                f"receive not completed within {timeout_ns} ns"
+            )
         return _mx_completion(req)
 
     def wait_any_recv(self, handles: Sequence[ChannelRecv]):
@@ -248,9 +253,17 @@ class GmKernelChannel(KernelChannel):
             yield from self.port.cpu.work(self.port.costs.blocking_wakeup_ns)
         return None
 
-    def wait_recv(self, handle: ChannelRecv):
+    def wait_recv(self, handle: ChannelRecv, timeout_ns: Optional[int] = None):
         if not handle.event.processed:
-            yield handle.event
+            if timeout_ns is None:
+                yield handle.event
+            else:
+                timer = self.env.timeout(timeout_ns)
+                yield self.env.any_of([handle.event, timer])
+                if not handle.event.triggered:
+                    raise TimeoutError_(
+                        f"receive not completed within {timeout_ns} ns"
+                    )
             yield from self.port.cpu.work(self.port.costs.blocking_wakeup_ns)
         return handle.event.value
 

@@ -75,6 +75,27 @@ class NetworkError(ReproError):
     """Link or fabric level failure (down link, no route)."""
 
 
+class TimeoutError_(ReproError):
+    """An operation exceeded its deadline (simulated time, never wall
+    clock).  Raised by timed waits on transports; upper layers retry or
+    surface :class:`Eio`."""
+
+
+class LinkDown(NetworkError):
+    """The link carrier is gone and nothing masks it (no reliable
+    delivery layer to retransmit around the outage)."""
+
+
+class MessageDropped(NetworkError):
+    """A message was lost and will not be recovered: either the fabric
+    is unreliable, or the reliable-delivery layer exhausted its
+    retransmission budget and declared the peer unreachable."""
+
+
+class NodeCrashed(NetworkError):
+    """The target (or local) node has crashed; its NIC accepts nothing."""
+
+
 # -- GM / MX APIs ------------------------------------------------------------
 
 
@@ -160,6 +181,15 @@ class Einval(FsError):
 
     def __init__(self, message: str = ""):
         super().__init__("EINVAL", message)
+
+
+class Eio(FsError):
+    """I/O error: the storage/file client exhausted its retry budget
+    (lost replies, crashed server) and surfaces the failure to the VFS
+    instead of hanging forever."""
+
+    def __init__(self, message: str = ""):
+        super().__init__("EIO", message)
 
 
 # -- protocol / sockets ------------------------------------------------------

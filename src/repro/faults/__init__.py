@@ -1,0 +1,8 @@
+"""Deterministic fault injection for the simulated fabric.
+
+See :mod:`repro.faults.plan` for the model and determinism contract.
+"""
+
+from .plan import FaultPlan, LinkFaultInjector, LinkFaultSpec
+
+__all__ = ["FaultPlan", "LinkFaultInjector", "LinkFaultSpec"]

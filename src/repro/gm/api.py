@@ -234,16 +234,31 @@ class GmPort:
 
     # -- the unified event queue --------------------------------------------------------
 
-    def receive_event(self, blocking: bool = False):
+    def receive_event(self, blocking: bool = False,
+                      timeout_ns: Optional[int] = None):
         """Generator: gm_receive — next event from the unified queue.
 
         ``blocking=True`` models sleeping until the event (interrupt +
         wakeup) instead of spinning; it costs
         ``costs.blocking_wakeup_ns`` extra, the penalty the paper blames
         for GM's poor fit under ORFS and SOCKETS-GM.
+
+        ``timeout_ns`` models gm_receive's expirable blocking variant:
+        if no event arrives within the budget, returns None (the caller
+        retries or surfaces an error).  The default None keeps the
+        original wait-forever semantics and code path.
         """
         self._check_open()
-        event = yield self.events.get()
+        if timeout_ns is None:
+            event = yield self.events.get()
+        else:
+            getter = self.events.get()
+            timer = self.env.timeout(timeout_ns)
+            yield self.env.any_of([getter, timer])
+            if not getter.triggered:
+                self.events.cancel(getter)
+                return None
+            event = getter.value
         yield from self.cpu.work(self.costs.host_event_ns)
         if blocking:
             yield from self.cpu.work(self.costs.blocking_wakeup_ns)

@@ -6,6 +6,18 @@ ratings hold: simultaneous opposite-direction transfers do not contend.
 Transmission models cut-through: the sender occupies its direction for
 the serialization time; delivery lands ``propagation`` after the last
 byte leaves.
+
+Fault injection
+---------------
+
+A link may carry a *fault injector* (see :mod:`repro.faults`): a filter
+consulted once per transmitted item, after the wire has been occupied
+(the sender's serialization cost is paid whether or not the bits arrive,
+and ``bytes_carried`` accounts the bytes the wire carried, not the bytes
+delivered).  The filter may pass the item through, drop it, or substitute
+a corrupted copy.  With no injector installed (the default) the path is
+a single ``is None`` check and the link is the perfect wire it always
+was.
 """
 
 from __future__ import annotations
@@ -31,6 +43,15 @@ class Link:
         }
         self._ends: dict[str, Optional[Callable[[Any], None]]] = {"a": None, "b": None}
         self.bytes_carried = 0
+        #: Optional fault injector (repro.faults.LinkFaultInjector).
+        self.faults = None
+        #: Items the injector removed from the wire (never delivered).
+        self.messages_dropped = 0
+
+    @property
+    def is_down(self) -> bool:
+        """True while a fault plan holds this link in a down window."""
+        return self.faults is not None and self.faults.down
 
     def attach(self, end: str, deliver: Callable[[Any], None]) -> None:
         """Connect an endpoint ('a' or 'b'); ``deliver(item)`` is called
@@ -61,6 +82,11 @@ class Link:
         direction = self._dirs["ab" if from_end == "a" else "ba"]
         yield from direction.acquire(self.serialization_ns(nbytes))
         self.bytes_carried += nbytes
+        if self.faults is not None:
+            item = self.faults.filter(self, item, nbytes)
+            if item is None:
+                self.messages_dropped += 1
+                return
 
         def _arrive(env):
             yield env.timeout(self.params.propagation_ns)
@@ -70,4 +96,8 @@ class Link:
 
     def utilization(self, direction: str = "ab") -> float:
         """Busy fraction of one direction ('ab' or 'ba')."""
+        if direction not in self._dirs:
+            raise NetworkError(
+                f"link direction must be 'ab' or 'ba', got {direction!r}"
+            )
         return self._dirs[direction].utilization()

@@ -37,13 +37,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from ..errors import NicError, PortError
+from ..errors import LinkDown, MessageDropped, NicError, NodeCrashed, PortError
 from ..mem.layout import PhysSegment
 from ..mem.phys import PhysicalMemory
 from ..sim import Environment, Event, Resource, Store
 from ..units import transfer_time_ns
 from .link import Link
-from .params import ApiCosts, NicParams
+from .params import DEFAULT_RELIABILITY, ApiCosts, NicParams, ReliabilityParams
 from ..nicfw.transtable import TranslationTable
 
 
@@ -55,6 +55,7 @@ class MsgKind(enum.Enum):
     CTS = "cts"  # rendezvous clear-to-send (control)
     RDATA = "rdata"  # rendezvous data (pre-matched at the receiver)
     FRAG = "frag"  # a non-final packet of a fragmented message
+    ACK = "ack"  # reliable-delivery cumulative acknowledgement (control)
 
 
 @dataclass
@@ -97,6 +98,13 @@ class Message:
     meta: Any = None  # out-of-band protocol header (size included in ``size``)
     rma_offset: int = 0  # directed sends: byte offset into the target window
     wire_size: int = 0  # bytes this packet occupies on each wire hop
+    # Reliable-delivery fields (all inert unless a fault plan enabled
+    # the reliability sublayer; see _ReliableDelivery).
+    seq: int = 0  # per-(src,dst)-peer sequence number; 0 = unsequenced
+    epoch: int = 0  # sender session number; bumped by NIC reset/crash
+    ack: int = 0  # piggybacked cumulative ack for the reverse direction
+    ack_epoch: int = 0  # session the ack refers to (stale acks are ignored)
+    corrupted: bool = False  # injected bit error; receiver CRC drops it
 
 
 @dataclass
@@ -197,6 +205,245 @@ class NicPort:
         self.unexpected_rts.clear()
 
 
+@dataclass
+class _PeerTx:
+    """Sender-side reliable-delivery state toward one peer NIC."""
+
+    next_seq: int = 1
+    unacked: dict = None  # seq -> (Message, wire_bytes), ascending order
+    retries: int = 0
+    rto_cur: int = 0
+    progress: int = 0  # bumped whenever a cumulative ack retires something
+    timer_alive: bool = False
+
+    def __post_init__(self):
+        if self.unacked is None:
+            self.unacked = {}
+
+
+class _ReliableDelivery:
+    """GM-firmware-style reliable delivery for one NIC.
+
+    Mirrors what Myrinet's MCP does below the API layers: every semantic
+    wire message (EAGER/RTS/CTS/RDATA) gets a per-peer sequence number, a
+    cumulative ack rides piggybacked on all reverse traffic (with a
+    delayed standalone ACK as fallback), lost messages are recovered by
+    timeout-driven go-back-N retransmission with exponential backoff, and
+    duplicates created by retransmission are suppressed at the receiver
+    before they can reach port matching.  FRAG packets carry no payload
+    semantics (the data rides the final packet) and are left unsequenced;
+    a retransmission therefore resends only the semantic packet.
+
+    The sublayer is created by :meth:`Nic.enable_reliability` — fault
+    plans do this; the default simulation never pays for it.  After
+    ``max_retries`` consecutive timeouts a peer is declared dead
+    (:class:`MessageDropped` on subsequent submits); upper layers surface
+    the failure through their own timeout budgets.
+    """
+
+    def __init__(self, nic: "Nic", params: ReliabilityParams, tracer=None):
+        self.nic = nic
+        self.env = nic.env
+        self.params = params
+        self.tracer = tracer
+        #: Our transmit session number.  A NIC reset (or crash followed
+        #: by recovery) bumps it, so peers can tell a restarted sequence
+        #: space (seq 1 of a *new* epoch) from a retransmitted duplicate
+        #: (seq 1 of the *same* epoch), and so stale in-flight acks from
+        #: the previous session cannot retire fresh messages.
+        self.epoch = 1
+        self._tx: dict[int, _PeerTx] = {}  # peer -> sender state
+        self._rx_last: dict[int, int] = {}  # peer -> last in-order seq seen
+        self._rx_epoch: dict[int, int] = {}  # peer -> its current tx epoch
+        self._last_acked_sent: dict[int, int] = {}  # peer -> last ack emitted
+        self._ack_pending: set[int] = set()
+        self.dead_peers: dict[int, MessageDropped] = {}
+
+    def _emit(self, category: str, label: str, payload=None) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.env.now, category, label, payload)
+
+    def reset(self) -> None:
+        """Forget all sequencing state (NIC reset / crash)."""
+        self.epoch += 1
+        self._tx.clear()
+        self._rx_last.clear()
+        self._rx_epoch.clear()
+        self._last_acked_sent.clear()
+        self.dead_peers.clear()
+
+    # -- transmit side ------------------------------------------------------
+
+    def stamp(self, msg: Message, nbytes: int) -> None:
+        """Sequence an outgoing message and arm retransmission.
+
+        Called immediately before the wire transmit, with no intervening
+        yields, so sequence order equals wire FIFO order.
+        """
+        peer = msg.dst_nic
+        msg.ack = self._rx_last.get(peer, 0)
+        msg.ack_epoch = self._rx_epoch.get(peer, 0)
+        self._last_acked_sent[peer] = msg.ack
+        if msg.kind is MsgKind.ACK:
+            return  # pure acks are not themselves sequenced or acked
+        st = self._tx.get(peer)
+        if st is None:
+            st = self._tx[peer] = _PeerTx(rto_cur=self.params.rto_ns)
+        msg.epoch = self.epoch
+        msg.seq = st.next_seq
+        st.next_seq += 1
+        st.unacked[msg.seq] = (msg, nbytes)
+        if not st.timer_alive:
+            st.timer_alive = True
+            self.env.process(
+                self._retrans_timer(peer), name=f"{self.nic.name}.rto"
+            )
+
+    def _process_ack(self, peer: int, ack: int, ack_epoch: int) -> None:
+        if ack_epoch != self.epoch:
+            return  # ack for a previous session (we reset meanwhile)
+        st = self._tx.get(peer)
+        if st is None:
+            return
+        progressed = False
+        for seq in list(st.unacked):
+            if seq > ack:
+                break
+            del st.unacked[seq]
+            progressed = True
+        if progressed:
+            st.progress += 1
+            st.retries = 0
+            st.rto_cur = self.params.rto_ns
+
+    def _retrans_timer(self, peer: int):
+        st = self._tx[peer]
+        try:
+            while True:
+                progress_at_sleep = st.progress
+                yield self.env.timeout(st.rto_cur)
+                if self.nic.crashed or not st.unacked:
+                    return
+                if st.progress != progress_at_sleep:
+                    continue  # acks flowed meanwhile; rto was reset
+                st.retries += 1
+                if st.retries > self.params.max_retries:
+                    exc = MessageDropped(
+                        f"{self.nic.name}: peer {peer} unreachable after "
+                        f"{self.params.max_retries} retransmission rounds "
+                        f"({len(st.unacked)} messages abandoned)"
+                    )
+                    self.dead_peers[peer] = exc
+                    self._emit("nic", "giveup", {
+                        "peer": peer, "abandoned": len(st.unacked),
+                    })
+                    st.unacked.clear()
+                    return
+                self._emit("nic", "retransmit", {
+                    "peer": peer,
+                    "count": len(st.unacked),
+                    "round": st.retries,
+                    "rto_ns": st.rto_cur,
+                })
+                st.rto_cur = min(st.rto_cur * 2, self.params.rto_max_ns)
+                # Go-back-N: resend everything still unacked, in order.
+                for seq in list(st.unacked):
+                    entry = st.unacked.get(seq)
+                    if entry is None:
+                        continue  # acked while we were retransmitting
+                    msg, nbytes = entry
+                    self.nic.retransmissions += 1
+                    yield from self.nic.fw.acquire(self.params.retransmit_fw_ns)
+                    msg.ack = self._rx_last.get(msg.dst_nic, 0)
+                    msg.ack_epoch = self._rx_epoch.get(msg.dst_nic, 0)
+                    yield from self.nic._link.transmit(
+                        self.nic._link_end, msg, nbytes
+                    )
+        finally:
+            st.timer_alive = False
+
+    # -- receive side -------------------------------------------------------
+
+    def on_arrival(self, msg: Message) -> Optional[Message]:
+        """Filter an arriving wire message; returns the message if it
+        should proceed to port matching, or None if consumed."""
+        if msg.corrupted:
+            # Firmware CRC check fails; drop without acking so the
+            # sender's retransmission recovers the payload.
+            self.nic.crc_drops += 1
+            self._emit("fault", "corrupt_drop", {
+                "src": msg.src_nic, "seq": msg.seq, "kind": msg.kind.value,
+            })
+            return None
+        if msg.ack:
+            self._process_ack(msg.src_nic, msg.ack, msg.ack_epoch)
+        if msg.kind is MsgKind.ACK:
+            return None
+        if msg.seq == 0:
+            return msg  # unsequenced traffic (reliability raced enabling)
+        peer = msg.src_nic
+        known_epoch = self._rx_epoch.get(peer, 0)
+        if msg.epoch < known_epoch:
+            # In-flight leftover from before the peer's reset.
+            self.nic.duplicates_dropped += 1
+            self._emit("nic", "stale_epoch", {"peer": peer, "seq": msg.seq})
+            return None
+        if msg.epoch > known_epoch:
+            # The peer restarted its sequence space in a new session;
+            # accept the restart instead of treating seq 1 as a duplicate.
+            if known_epoch:
+                self._emit("nic", "resync", {
+                    "peer": peer, "epoch": msg.epoch,
+                })
+            self._rx_epoch[peer] = msg.epoch
+            self._rx_last[peer] = 0
+            self._last_acked_sent.pop(peer, None)
+        last = self._rx_last.get(peer, 0)
+        if msg.seq == last + 1:
+            self._rx_last[peer] = msg.seq
+            self._schedule_ack(peer)
+            return msg
+        if msg.seq <= last:
+            self.nic.duplicates_dropped += 1
+            self._emit("nic", "duplicate", {"peer": peer, "seq": msg.seq})
+            self._schedule_ack(peer)  # re-ack so the sender stops resending
+            return None
+        # A gap: something before this message was lost.  Go-back-N:
+        # drop it and let the sender's timeout resend the whole window.
+        self._emit("nic", "gap", {
+            "peer": peer, "seq": msg.seq, "expected": last + 1,
+        })
+        self._schedule_ack(peer)
+        return None
+
+    def _schedule_ack(self, peer: int) -> None:
+        if peer in self._ack_pending:
+            return  # an ack is already queued; it will carry the latest seq
+        self._ack_pending.add(peer)
+        self.env.process(self._ack_proc(peer), name=f"{self.nic.name}.ack")
+
+    def _ack_proc(self, peer: int):
+        yield self.env.timeout(self.params.ack_delay_ns)
+        self._ack_pending.discard(peer)
+        if self.nic.crashed:
+            return
+        last = self._rx_last.get(peer, 0)
+        if self._last_acked_sent.get(peer, 0) >= last:
+            return  # a piggybacked ack already covered everything
+        ack = Message(
+            kind=MsgKind.ACK,
+            src_nic=self.nic.node_id,
+            src_port=0,
+            dst_nic=peer,
+            dst_port=0,
+            match=0,
+            size=0,
+        )
+        self.nic.acks_sent += 1
+        yield from self.nic.fw.acquire(self.params.ack_fw_ns)
+        yield from self.nic._wire_out(ack, self.nic.params.ctrl_message_bytes)
+
+
 class Nic:
     """A Myrinet network interface card attached to one host."""
 
@@ -226,6 +473,15 @@ class Nic:
         self._stalled_rndv: dict[int, SendDescriptor] = {}
         self.messages_sent = 0
         self.messages_received = 0
+        # Reliable-delivery sublayer: None until a fault plan (or a test)
+        # calls enable_reliability(); every hot-path hook is an `is None`
+        # check so the perfect-fabric simulation is unchanged.
+        self._rel: Optional[_ReliableDelivery] = None
+        self.crashed = False
+        self.retransmissions = 0
+        self.duplicates_dropped = 0
+        self.crc_drops = 0
+        self.acks_sent = 0
         env.process(self._rx_loop(), name=f"{self.name}.rxloop")
 
     # -- wiring ------------------------------------------------------------
@@ -255,13 +511,66 @@ class Nic:
             raise PortError(f"port {port_id} on {self.name} is closed")
         return port
 
+    # -- fault-tolerance lifecycle -------------------------------------------
+
+    def enable_reliability(
+        self,
+        params: ReliabilityParams = DEFAULT_RELIABILITY,
+        tracer=None,
+    ) -> None:
+        """Turn on GM-firmware-style reliable delivery on this NIC.
+
+        Idempotent; installed by :meth:`repro.faults.FaultPlan.install`.
+        Both ends of a conversation must enable it (the fault plan
+        enables every NIC it is given).
+        """
+        if self._rel is None:
+            self._rel = _ReliableDelivery(self, params, tracer)
+
+    def crash(self) -> None:
+        """The host died: the NIC stops sending, receiving, and acking.
+        Subsequent submits raise :class:`NodeCrashed`."""
+        self.crashed = True
+        if self._rel is not None:
+            self._rel.reset()
+
+    def reset(self) -> None:
+        """Firmware reset: wipe volatile NIC state (translations, pending
+        rendezvous, sequence numbers) but come back up able to talk."""
+        self.crashed = False
+        self.transtable = TranslationTable(self.params.translation_table_entries)
+        self._pending_rndv.clear()
+        self._stalled_rndv.clear()
+        if self._rel is not None:
+            self._rel.reset()
+
     # -- host-facing send entry ----------------------------------------------
 
     def submit(self, desc: SendDescriptor) -> Event:
         """Submit a send descriptor (the doorbell write has already been
-        charged by the API layer).  Returns the completion event."""
+        charged by the API layer).  Returns the completion event.
+
+        Fault surfacing happens here, synchronously in the caller's
+        generator, never inside NIC processes: a crashed local NIC raises
+        :class:`NodeCrashed`, a peer the reliability layer has given up
+        on raises :class:`MessageDropped`, and a down link with no
+        reliability layer to mask it raises :class:`LinkDown`.
+        """
         if self._link is None:
             raise NicError(f"{self.name} not attached to a link")
+        if self.crashed:
+            raise NodeCrashed(f"{self.name}: local node has crashed")
+        if self._rel is not None:
+            dead = self._rel.dead_peers.get(desc.dst_nic)
+            if dead is not None:
+                raise MessageDropped(
+                    f"{self.name}: peer {desc.dst_nic} declared unreachable: {dead}"
+                )
+        elif self._link.is_down:
+            raise LinkDown(
+                f"{self.name}: link {self._link.name} is down and no "
+                f"reliable-delivery layer is enabled to mask the outage"
+            )
         if desc.completion is None:
             desc.completion = self.env.event(f"{self.name}.sendcomp")
         self.env.process(self._tx_process(desc), name=f"{self.name}.tx")
@@ -344,6 +653,10 @@ class Nic:
                 rma_offset=desc.rma_offset,
                 wire_size=remaining,
             )
+            # Stamping and transmit entry are atomic (no yield between
+            # them), so sequence order equals wire FIFO order.
+            if self._rel is not None:
+                self._rel.stamp(msg, remaining)
             yield from self._link.transmit(self._link_end, msg, remaining)
         finally:
             pci_req.release()
@@ -358,6 +671,8 @@ class Nic:
         assert self._link is not None
         msg.wire_size = nbytes
         yield self.env.timeout(self.params.link.cut_through_lag_ns)
+        if self._rel is not None:
+            self._rel.stamp(msg, nbytes)
         yield from self._link.transmit(self._link_end, msg, nbytes)
 
     # -- receive path -----------------------------------------------------------
@@ -367,6 +682,8 @@ class Nic:
             raise NicError(
                 f"{self.name} (node {self.node_id}) got message for node {msg.dst_nic}"
             )
+        if self.crashed:
+            return  # dead silicon: bits hit the connector and vanish
         self._rx_queue.put(msg)
 
     def _rx_loop(self):
@@ -376,6 +693,11 @@ class Nic:
                 # Pacing packet of a fragmented message: the semantic
                 # message (and all per-message costs) ride the final one.
                 continue
+            if self._rel is not None:
+                filtered = self._rel.on_arrival(msg)
+                if filtered is None:
+                    continue  # ack / duplicate / gap / CRC failure
+                msg = filtered
             if msg.kind is MsgKind.CTS:
                 yield from self.fw.acquire(self._ctrl_fw_cost(msg))
                 self._on_cts(msg)
@@ -400,6 +722,10 @@ class Nic:
             if msg.kind is MsgKind.RDATA:
                 pending = self._pending_rndv.pop(msg.rndv_id, None)
                 if pending is None:
+                    if self._rel is not None:
+                        # A NIC reset wiped the pending-rendezvous table;
+                        # the sender's give-up path reports the failure.
+                        continue
                     raise NicError(f"RDATA with unknown rendezvous id {msg.rndv_id}")
                 recv = pending.recv
             else:
@@ -451,6 +777,8 @@ class Nic:
     def _on_cts(self, cts: Message) -> None:
         desc = self._stalled_rndv.pop(cts.rndv_id, None)
         if desc is None:
+            if self._rel is not None:
+                return  # stale CTS from before a NIC reset
             raise NicError(f"CTS with unknown rendezvous id {cts.rndv_id}")
         self.env.process(
             self._transmit_data(desc, MsgKind.RDATA, rndv_id=cts.rndv_id),

@@ -255,6 +255,35 @@ MX_KERNEL_COSTS = ApiCosts(
 
 
 # ---------------------------------------------------------------------------
+# Firmware reliable delivery (GM's MCP guarantees; engaged by fault plans)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReliabilityParams:
+    """GM-firmware-style reliable delivery: per-peer sequence numbers,
+    cumulative acks, timeout-driven go-back-N retransmission with
+    exponential backoff, duplicate suppression.
+
+    The sublayer is *off by default* — the perfect-fabric figures stay
+    byte-identical — and is enabled by :class:`repro.faults.FaultPlan`
+    when the simulated fabric becomes lossy.  Timescales follow real
+    firmware practice: the RTO sits two orders of magnitude above the
+    one-way latency so retransmission never fires on an intact fabric.
+    """
+
+    rto_ns: int = us(150)  # base retransmission timeout (RTT is ~10-20 us)
+    rto_max_ns: int = us(2400)  # exponential backoff cap
+    max_retries: int = 12  # give-up budget per peer before declaring it dead
+    ack_delay_ns: int = 2000  # delayed-ack coalescing window
+    ack_fw_ns: int = 250  # firmware cost of emitting a standalone ack
+    retransmit_fw_ns: int = 400  # firmware cost per retransmitted packet
+
+
+DEFAULT_RELIABILITY = ReliabilityParams()
+
+
+# ---------------------------------------------------------------------------
 # GM registration (section 2.2.2, figure 1(b))
 # ---------------------------------------------------------------------------
 

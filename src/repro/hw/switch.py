@@ -27,6 +27,10 @@ class Switch:
         self.crossing_ns = crossing_ns
         self.name = name
         self._links: dict[int, Link] = {}  # node id -> link to that node
+        #: Optional fault tracer (set by repro.faults.FaultPlan.install).
+        self.tracer = None
+        #: Messages discarded because the output port's link was down.
+        self.messages_dropped = 0
 
     def add_node(self, node_id: int) -> tuple[Link, str]:
         """Create the link for ``node_id``.
@@ -55,5 +59,14 @@ class Switch:
         if out is None:
             raise NetworkError(f"{self.name} has no port for node {dst}")
         yield self.env.timeout(self.crossing_ns)
+        if out.is_down:
+            # Output port has no carrier: the crossbar discards the
+            # message (reliable delivery at the NICs recovers it).
+            self.messages_dropped += 1
+            if self.tracer is not None:
+                self.tracer.emit(self.env.now, "fault", "switch_drop", {
+                    "switch": self.name, "dst": dst,
+                })
+            return
         nbytes = getattr(msg, "wire_size", 0) or max(1, getattr(msg, "size", 1))
         yield from out.transmit("a", msg, nbytes)

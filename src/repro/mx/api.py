@@ -333,15 +333,27 @@ class MxEndpoint:
         yield from self.cpu.work(_TEST_NS)
         return req.completed
 
-    def wait(self, req: MxRequest, blocking: bool = False):
+    def wait(self, req: MxRequest, blocking: bool = False,
+             timeout_ns: Optional[int] = None):
         """Generator: mx_wait — wait for one request.
 
         ``blocking=True`` models sleeping (interrupt wakeup) instead of
         polling; MX's wakeup is cheap (section 5.2 praises its flexible
         notification), but it is still charged.
+
+        ``timeout_ns`` models mx_wait's timeout argument: if the request
+        has not completed within the budget, returns None and leaves the
+        request pending (the caller may retry, or abandon it).  The
+        default None keeps the original wait-forever path.
         """
         if not req.event.processed:
-            yield req.event
+            if timeout_ns is None:
+                yield req.event
+            else:
+                timer = self.env.timeout(timeout_ns)
+                yield self.env.any_of([req.event, timer])
+                if not req.event.triggered:
+                    return None
         yield from self.cpu.work(self.costs.host_event_ns)
         if blocking:
             yield from self.cpu.work(self.costs.blocking_wakeup_ns)

@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import itertools
 
+from typing import Optional
+
 from ..cluster.node import Node
 from ..core.channel import KernelChannel
-from ..errors import Einval
+from ..errors import Eio, Einval, NetworkError, TimeoutError_
 from ..kernel.memfs import MemFs
 from ..mem.layout import sg_from_frames
 from ..mx.memtypes import MxSegment
@@ -57,7 +59,8 @@ class NbdDevice:
 
     def __init__(self, node: Node, channel: KernelChannel,
                  server: tuple[int, int], device_inode: int,
-                 device_blocks: int):
+                 device_blocks: int, timeout_ns: Optional[int] = None,
+                 max_retries: int = 3, tracer=None):
         self.node = node
         self.channel = channel
         self.server = server
@@ -65,11 +68,19 @@ class NbdDevice:
         self.device_blocks = device_blocks
         self.cpu = node.cpu
         self.pagecache = node.pagecache
+        #: Per-block-request reply deadline; None (the default) waits
+        #: forever — the original behavior over a reliable fabric.
+        self.timeout_ns = timeout_ns
+        #: Extra attempts after the first times out; exhaustion raises
+        #: Eio (the block layer's error completion) instead of hanging.
+        self.max_retries = max_retries
+        self.tracer = tracer
         self._cache_key = -device_inode  # block-cache namespace
         self._reply_buf = node.kspace.kmalloc(4096)
         self._req_buf = node.kspace.kmalloc(4096)
         self.blocks_read = 0
         self.blocks_written = 0
+        self.request_retries = 0
 
     # -- raw block transfer (what the block layer submits) --------------------
 
@@ -82,45 +93,75 @@ class NbdDevice:
         address transfer, no copies)."""
         self._check_block(block)
         yield from self.cpu.work(BLOCK_LAYER_NS)
-        req = OrfaRequest(op=OrfaOp.READ,
-                          request_id=next(NbdDevice._request_ids),
-                          inode=self.device_inode,
-                          offset=block * BLOCK_SIZE, length=BLOCK_SIZE)
-        recv = yield from self.channel.post_recv(
-            [MxSegment.physical(sg_from_frames([frame], 0, BLOCK_SIZE))],
-            match=req.request_id,
+        yield from self._block_rpc(
+            OrfaOp.READ, block, BLOCK_SIZE,
+            recv_segs=lambda: [
+                MxSegment.physical(sg_from_frames([frame], 0, BLOCK_SIZE))
+            ],
+            send_segs=lambda req: [
+                MxSegment.kernel(self._req_buf.vaddr, req.wire_size())
+            ],
         )
-        send = yield from self.channel.send(
-            self.server[0], self.server[1],
-            [MxSegment.kernel(self._req_buf.vaddr, req.wire_size())],
-            match=0, meta=req,
-        )
-        yield from self.channel.wait_recv(recv)
-        if not send.event.processed:
-            yield from self.channel.wait_send(send)
         self.blocks_read += 1
 
     def write_block(self, block: int, frame, length: int = BLOCK_SIZE):
         """Generator: write one device block straight from ``frame``."""
         self._check_block(block)
         yield from self.cpu.work(BLOCK_LAYER_NS)
-        req = OrfaRequest(op=OrfaOp.WRITE,
-                          request_id=next(NbdDevice._request_ids),
-                          inode=self.device_inode,
-                          offset=block * BLOCK_SIZE, length=length)
-        recv = yield from self.channel.post_recv(
-            [MxSegment.kernel(self._reply_buf.vaddr, 4096)],
-            match=req.request_id,
+        yield from self._block_rpc(
+            OrfaOp.WRITE, block, length,
+            recv_segs=lambda: [
+                MxSegment.kernel(self._reply_buf.vaddr, 4096)
+            ],
+            send_segs=lambda req: [
+                MxSegment.physical(sg_from_frames([frame], 0, length))
+            ],
         )
-        send = yield from self.channel.send(
-            self.server[0], self.server[1],
-            [MxSegment.physical(sg_from_frames([frame], 0, length))],
-            match=0, meta=req,
-        )
-        yield from self.channel.wait_recv(recv)
-        if not send.event.processed:
-            yield from self.channel.wait_send(send)
         self.blocks_written += 1
+
+    def _block_rpc(self, op, block: int, length: int, recv_segs, send_segs):
+        """Generator: one block request under the device's retry budget.
+
+        Block reads and writes are idempotent, so each timed-out attempt
+        is simply re-issued under a fresh request id (the abandoned
+        receive completes harmlessly if the stale reply shows up late).
+        Budget exhaustion — or a fabric-reported dead peer — surfaces as
+        :class:`Eio`, the block layer's error completion, instead of an
+        I/O that hangs forever.
+        """
+        attempts = 1 if self.timeout_ns is None else 1 + self.max_retries
+        for attempt in range(attempts):
+            req = OrfaRequest(op=op, request_id=next(NbdDevice._request_ids),
+                              inode=self.device_inode,
+                              offset=block * BLOCK_SIZE, length=length)
+            recv = yield from self.channel.post_recv(
+                recv_segs(), match=req.request_id,
+            )
+            try:
+                send = yield from self.channel.send(
+                    self.server[0], self.server[1], send_segs(req),
+                    match=0, meta=req,
+                )
+            except NetworkError as exc:
+                raise Eio(f"nbd block {block}: {exc}") from exc
+            try:
+                yield from self.channel.wait_recv(
+                    recv, timeout_ns=self.timeout_ns
+                )
+            except TimeoutError_:
+                self.request_retries += 1
+                if self.tracer is not None:
+                    self.tracer.emit(self.node.env.now, "rpc", "timeout", {
+                        "dev": "nbd", "block": block, "attempt": attempt + 1,
+                    })
+                continue
+            if not send.event.processed:
+                yield from self.channel.wait_send(send)
+            return
+        raise Eio(
+            f"nbd block {block}: no reply after {attempts} attempts "
+            f"of {self.timeout_ns} ns each"
+        )
 
     # -- buffered access through the block cache ---------------------------------
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..cluster.node import Node
-from ..errors import Ebadf, FsError, ProtocolError
+from ..errors import Ebadf, Eio, FsError, NetworkError, ProtocolError
 from ..gm.api import GmEventKind, GmPort
 from ..gmkrc.cache import Gmkrc
 from ..kernel.vfs import InodeAttrs
@@ -67,6 +67,9 @@ class _GmClientSide:
         self.regcache = Gmkrc(self.port, node.vmaspy, max_cached_pages=4096)
         self._req_buf = None
         self._reply_buf = None
+        # Request ids whose reply we stopped waiting for (RPC timeout):
+        # a late reply to one of these is skipped, not a protocol error.
+        self._stale_ids: set[int] = set()
 
     def setup(self):
         size = page_align_up(RING_SLOT_BYTES)
@@ -75,7 +78,7 @@ class _GmClientSide:
         yield from self.port.register(self._req_buf, size)
         yield from self.port.register(self._reply_buf, size)
 
-    def call_meta(self, dst, req: OrfaRequest):
+    def call_meta(self, dst, req: OrfaRequest, timeout_ns: Optional[int] = None):
         """Generator: request with header-only reply (metadata ops)."""
         yield from self.port.provide_receive_buffer(
             self._reply_buf, 4096, match=req.request_id
@@ -83,22 +86,26 @@ class _GmClientSide:
         yield from self.port.send(
             dst[0], dst[1], self._req_buf, req.wire_size(), meta=req
         )
-        return (yield from self._await_reply(req.request_id))
+        return (yield from self._await_reply(req.request_id, timeout_ns))
 
-    def call_read(self, dst, req: OrfaRequest, vaddr: int):
+    def call_read(self, dst, req: OrfaRequest, vaddr: int,
+                  timeout_ns: Optional[int] = None):
         """Generator: READ with the data landing in the app buffer."""
         key, entry = yield from self.regcache.acquire(self.space, vaddr, req.length)
-        yield from self.port.provide_receive_buffer_registered(
-            key, req.length, match=req.request_id
-        )
-        yield from self.port.send(
-            dst[0], dst[1], self._req_buf, req.wire_size(), meta=req
-        )
-        reply = yield from self._await_reply(req.request_id)
-        self.regcache.release(entry)
+        try:
+            yield from self.port.provide_receive_buffer_registered(
+                key, req.length, match=req.request_id
+            )
+            yield from self.port.send(
+                dst[0], dst[1], self._req_buf, req.wire_size(), meta=req
+            )
+            reply = yield from self._await_reply(req.request_id, timeout_ns)
+        finally:
+            self.regcache.release(entry)
         return reply
 
-    def call_write(self, dst, req: OrfaRequest, vaddr: int):
+    def call_write(self, dst, req: OrfaRequest, vaddr: int,
+                   timeout_ns: Optional[int] = None):
         """Generator: WRITE; the payload is copied into the registered
         request buffer (GM cannot send a header+user-data vector)."""
         yield from self.port.provide_receive_buffer(
@@ -111,14 +118,32 @@ class _GmClientSide:
         yield from self.port.send(
             dst[0], dst[1], self._req_buf, req.wire_size() + req.length, meta=req,
         )
-        return (yield from self._await_reply(req.request_id))
+        return (yield from self._await_reply(req.request_id, timeout_ns))
 
-    def _await_reply(self, request_id: int):
+    def _await_reply(self, request_id: int, timeout_ns: Optional[int] = None):
+        deadline = None if timeout_ns is None else self.node.env.now + timeout_ns
         while True:
-            event = yield from self.port.receive_event(blocking=True)
+            if deadline is None:
+                event = yield from self.port.receive_event(blocking=True)
+            else:
+                remain = deadline - self.node.env.now
+                if remain <= 0:
+                    event = None
+                else:
+                    event = yield from self.port.receive_event(
+                        blocking=True, timeout_ns=remain
+                    )
+                if event is None:
+                    self._stale_ids.add(request_id)
+                    return None
             if event.kind is GmEventKind.SENT:
                 continue
             if event.match != request_id:
+                if event.match in self._stale_ids:
+                    # Late reply to an abandoned (timed-out) request:
+                    # the retry already re-asked with a fresh id.
+                    self._stale_ids.discard(event.match)
+                    continue
                 raise ProtocolError(f"unexpected reply match {event.match}")
             return event.meta
 
@@ -140,7 +165,7 @@ class _MxClientSide:
         return
         yield  # pragma: no cover
 
-    def call_meta(self, dst, req: OrfaRequest):
+    def call_meta(self, dst, req: OrfaRequest, timeout_ns: Optional[int] = None):
         recv = yield from self.endpoint.irecv(
             [MxSegment.user(self.space, self._reply_buf, 4096)],
             match=req.request_id,
@@ -150,11 +175,10 @@ class _MxClientSide:
             [MxSegment.user(self.space, self._req_buf, req.wire_size())],
             match=0, meta=req,
         )
-        yield from self.endpoint.wait(send)
-        done = yield from self.endpoint.wait(recv, blocking=True)
-        return done.result.meta
+        return (yield from self._finish(send, recv, timeout_ns))
 
-    def call_read(self, dst, req: OrfaRequest, vaddr: int):
+    def call_read(self, dst, req: OrfaRequest, vaddr: int,
+                  timeout_ns: Optional[int] = None):
         recv = yield from self.endpoint.irecv(
             [MxSegment.user(self.space, vaddr, req.length)],
             match=req.request_id,
@@ -164,11 +188,10 @@ class _MxClientSide:
             [MxSegment.user(self.space, self._req_buf, req.wire_size())],
             match=0, meta=req,
         )
-        yield from self.endpoint.wait(send)
-        done = yield from self.endpoint.wait(recv, blocking=True)
-        return done.result.meta
+        return (yield from self._finish(send, recv, timeout_ns))
 
-    def call_write(self, dst, req: OrfaRequest, vaddr: int):
+    def call_write(self, dst, req: OrfaRequest, vaddr: int,
+                   timeout_ns: Optional[int] = None):
         recv = yield from self.endpoint.irecv(
             [MxSegment.user(self.space, self._reply_buf, 4096)],
             match=req.request_id,
@@ -179,8 +202,30 @@ class _MxClientSide:
             [MxSegment.user(self.space, vaddr, req.length)],
             match=0, meta=req,
         )
-        yield from self.endpoint.wait(send)
-        done = yield from self.endpoint.wait(recv, blocking=True)
+        return (yield from self._finish(send, recv, timeout_ns))
+
+    def _finish(self, send, recv, timeout_ns: Optional[int]):
+        """Wait for the send and then the matching reply.
+
+        On timeout, returns None and abandons the posted receive — the
+        retry posts a fresh one under a new request id, so a late reply
+        to the stale id completes silently without confusing anyone.
+        """
+        if timeout_ns is None:
+            yield from self.endpoint.wait(send)
+            done = yield from self.endpoint.wait(recv, blocking=True)
+            return done.result.meta
+        deadline = self.node.env.now + timeout_ns
+        done = yield from self.endpoint.wait(send, timeout_ns=timeout_ns)
+        if done is None:
+            return None
+        remain = deadline - self.node.env.now
+        if remain <= 0:
+            return None
+        done = yield from self.endpoint.wait(recv, blocking=True,
+                                             timeout_ns=remain)
+        if done is None:
+            return None
         return done.result.meta
 
 
@@ -190,7 +235,9 @@ class OrfaClient:
     _request_ids = itertools.count(1)
 
     def __init__(self, node: Node, port_id: int, space: AddressSpace,
-                 server: tuple[int, int], api: str = "mx"):
+                 server: tuple[int, int], api: str = "mx",
+                 timeout_ns: Optional[int] = None, max_retries: int = 2,
+                 tracer=None):
         if api not in ("gm", "mx"):
             raise ProtocolError(f"api must be 'gm' or 'mx', got {api!r}")
         self.node = node
@@ -198,6 +245,12 @@ class OrfaClient:
         self.server = server
         self.api = api
         self.cpu = node.cpu
+        #: Per-RPC reply deadline; None (the default) waits forever — the
+        #: original ORFA behavior over a reliable fabric.
+        self.timeout_ns = timeout_ns
+        #: Extra attempts after the first times out; exhaustion raises Eio.
+        self.max_retries = max_retries
+        self.tracer = tracer
         if api == "gm":
             self.side = _GmClientSide(node, port_id, space)
         else:
@@ -211,11 +264,46 @@ class OrfaClient:
 
     # -- protocol helpers ------------------------------------------------------
 
+    def _call(self, make_req, side_call, *extra):
+        """Generator: one RPC with the client's timeout/retry budget.
+
+        Each attempt gets a *fresh* request id (the server replies match
+        by id, so a late reply to a timed-out attempt can never be taken
+        for the retry's answer).  When the budget is exhausted — or the
+        fabric reports the peer unreachable — the failure surfaces as
+        :class:`Eio`, the errno a kernel client would hand the VFS.
+        READ and WRITE are idempotent, so at-least-once execution is
+        safe; CREATE retried after a lost *reply* may observe EEXIST
+        (documented at-least-once hazard).
+        """
+        attempts = 1 if self.timeout_ns is None else 1 + self.max_retries
+        for attempt in range(attempts):
+            req = make_req(next(OrfaClient._request_ids))
+            try:
+                reply = yield from side_call(self.server, req, *extra,
+                                             timeout_ns=self.timeout_ns)
+            except NetworkError as exc:
+                raise Eio(f"orfa {req.op.name.lower()}: {exc}") from exc
+            if reply is not None:
+                return reply
+            if self.tracer is not None:
+                self.tracer.emit(self.node.env.now, "rpc", "timeout", {
+                    "op": req.op.name.lower(),
+                    "attempt": attempt + 1,
+                    "request_id": req.request_id,
+                })
+        raise Eio(
+            f"orfa {req.op.name.lower()}: no reply after {attempts} attempts "
+            f"of {self.timeout_ns} ns each"
+        )
+
     def _rpc_meta(self, op: OrfaOp, inode: int = 0, name: str = "",
                   length: int = 0) -> "generator":
-        req = OrfaRequest(op=op, request_id=next(OrfaClient._request_ids),
-                          inode=inode, name=name, length=length)
-        reply = yield from self.side.call_meta(self.server, req)
+        reply = yield from self._call(
+            lambda rid: OrfaRequest(op=op, request_id=rid, inode=inode,
+                                    name=name, length=length),
+            self.side.call_meta,
+        )
         if not reply.ok:
             _raise_status(reply.status)
         return reply
@@ -280,11 +368,13 @@ class OrfaClient:
         done = 0
         while remaining > 0:
             chunk = min(remaining, MAX_READ_REPLY)
-            req = OrfaRequest(op=OrfaOp.READ,
-                              request_id=next(OrfaClient._request_ids),
-                              inode=f.attrs.inode_id, offset=f.offset + done,
-                              length=chunk)
-            reply = yield from self.side.call_read(self.server, req, vaddr + done)
+            offset = f.offset + done
+            reply = yield from self._call(
+                lambda rid: OrfaRequest(op=OrfaOp.READ, request_id=rid,
+                                        inode=f.attrs.inode_id,
+                                        offset=offset, length=chunk),
+                self.side.call_read, vaddr + done,
+            )
             if not reply.ok:
                 _raise_status(reply.status)
             done += reply.count
@@ -301,11 +391,13 @@ class OrfaClient:
         done = 0
         while done < length:
             chunk = min(length - done, MAX_WRITE_CHUNK)
-            req = OrfaRequest(op=OrfaOp.WRITE,
-                              request_id=next(OrfaClient._request_ids),
-                              inode=f.attrs.inode_id, offset=f.offset + done,
-                              length=chunk)
-            reply = yield from self.side.call_write(self.server, req, vaddr + done)
+            offset = f.offset + done
+            reply = yield from self._call(
+                lambda rid: OrfaRequest(op=OrfaOp.WRITE, request_id=rid,
+                                        inode=f.attrs.inode_id,
+                                        offset=offset, length=chunk),
+                self.side.call_write, vaddr + done,
+            )
             if not reply.ok:
                 _raise_status(reply.status)
             done += reply.count

@@ -231,13 +231,17 @@ class OrfaServer:
     """The file server process: protocol dispatch over MemFs."""
 
     def __init__(self, node: Node, port_id: int, api: str = "mx",
-                 fs: Optional[MemFs] = None):
+                 fs: Optional[MemFs] = None, tolerant: bool = False):
         if api not in ("gm", "mx"):
             raise ProtocolError(f"api must be 'gm' or 'mx', got {api!r}")
         self.node = node
         self.api = api
         self.fs = fs or MemFs(node.env, node.cpu)
         self.cpu = node.cpu
+        #: Tolerant servers answer EIO to protocol-violating requests
+        #: instead of dying — the posture for fault-injection runs.  The
+        #: strict default makes protocol bugs loud in tests.
+        self.tolerant = tolerant
         if api == "gm":
             self.transport = _GmServerTransport(node, port_id)
         else:
@@ -295,5 +299,13 @@ class OrfaServer:
                 raise ProtocolError(f"unknown op {req.op}")
         except FsError as exc:
             reply.status = exc.errno_name
+        except ProtocolError:
+            # A garbled request (e.g. truncated by an injected fault that
+            # slipped past the CRC model) must not kill a tolerant server
+            # loop: answer EIO and keep serving.
+            if not self.tolerant:
+                raise
+            reply.status = "EIO"
+            data = b""
         self.requests_served += 1
         yield from self.transport.send_reply(incoming, reply, data)

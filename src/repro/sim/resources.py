@@ -202,6 +202,18 @@ class Store:
             self._getters.append(ev)
         return ev
 
+    def cancel(self, getter: Event) -> bool:
+        """Withdraw a pending getter (used by timed waits that lost the
+        race against a timeout).  Returns True if the getter was still
+        queued; False if it already fired or was never ours — in that
+        case the caller must consume ``getter.value`` or re-``put`` it.
+        """
+        try:
+            self._getters.remove(getter)
+            return True
+        except ValueError:
+            return False
+
     def peek_all(self) -> tuple[Any, ...]:
         """Snapshot of buffered items (for tests and introspection)."""
         return tuple(self._items)

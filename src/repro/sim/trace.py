@@ -55,6 +55,32 @@ class Tracer:
                 fn(rec)
 
 
+def render_record(rec: TraceRecord) -> str:
+    """Serialize one record to a stable, diffable text line.
+
+    Dict payloads are emitted with sorted keys so the line depends only
+    on the record's content, never on construction order — fault tests
+    compare whole rendered traces byte-for-byte across seeded runs.
+    """
+    return f"{rec.time:>12d} {rec.category}.{rec.label} {_fmt_payload(rec.payload)}"
+
+
+def render_trace(records: list[TraceRecord]) -> str:
+    """Serialize a record list to one line per record (trailing newline)."""
+    return "".join(render_record(r) + "\n" for r in records)
+
+
+def _fmt_payload(payload: Any) -> str:
+    if payload is None:
+        return "-"
+    if isinstance(payload, dict):
+        inner = " ".join(f"{k}={_fmt_payload(v)}" for k, v in sorted(payload.items()))
+        return "{" + inner + "}"
+    if isinstance(payload, str):
+        return payload
+    return str(payload)
+
+
 @dataclass
 class Counter:
     """Monotonic counter with a helper for deltas between checkpoints."""
