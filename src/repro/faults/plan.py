@@ -108,32 +108,40 @@ class LinkFaultInjector:
         if self.tracer is not None:
             self.tracer.emit(self.env.now, "fault", label, payload)
 
+    def _wants(self) -> bool:
+        """Cheap pre-check so the per-item hot path skips building
+        payload dicts when nothing listens to fault traces."""
+        return self.tracer is not None and self.tracer.wants("fault")
+
     def filter(self, link: Link, item, nbytes: int):
         kind = getattr(item, "kind", None)
         if kind is MsgKind.FRAG:
             return item  # pacing packet: semantics ride the final packet
         if self.down:
             self.down_drops += 1
-            self._emit("link_down_drop", {
-                "link": link.name,
-                "kind": kind.value if kind is not None else "?",
-            })
+            if self._wants():
+                self._emit("link_down_drop", {
+                    "link": link.name,
+                    "kind": kind.value if kind is not None else "?",
+                })
             return None
         if self.spec.drop_prob and self.rng.chance(self.spec.drop_prob):
             self.dropped += 1
-            self._emit("drop", {
-                "link": link.name,
-                "kind": kind.value if kind is not None else "?",
-                "seq": getattr(item, "seq", 0),
-            })
+            if self._wants():
+                self._emit("drop", {
+                    "link": link.name,
+                    "kind": kind.value if kind is not None else "?",
+                    "seq": getattr(item, "seq", 0),
+                })
             return None
         if self.spec.corrupt_prob and self.rng.chance(self.spec.corrupt_prob):
             self.corrupted += 1
-            self._emit("corrupt", {
-                "link": link.name,
-                "kind": kind.value if kind is not None else "?",
-                "seq": getattr(item, "seq", 0),
-            })
+            if self._wants():
+                self._emit("corrupt", {
+                    "link": link.name,
+                    "kind": kind.value if kind is not None else "?",
+                    "seq": getattr(item, "seq", 0),
+                })
             # Deliver a poisoned *copy*: the sender's stored original
             # stays clean, so a retransmission carries good bits.
             return replace(item, corrupted=True)

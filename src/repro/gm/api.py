@@ -53,7 +53,7 @@ class GmEvent:
     src_node: int = -1
     src_port: int = -1
     tag: Any = None
-    data: Optional[bytes] = None
+    data: Any = None  # PayloadRef (zero-copy chunk views) when kept
     meta: Any = None  # sender's out-of-band protocol header
 
 

@@ -40,6 +40,7 @@ from typing import Any, Callable, Optional
 from ..errors import LinkDown, MessageDropped, NicError, NodeCrashed, PortError
 from ..mem.layout import PhysSegment
 from ..mem.phys import PhysicalMemory
+from ..mem.sglist import PayloadRef
 from ..sim import Environment, Event, Resource, Store
 from ..units import transfer_time_ns
 from .link import Link
@@ -76,7 +77,7 @@ class ReceiveCompletion:
     match: int
     src_nic: int
     src_port: int
-    data: Optional[bytes]
+    data: Optional[PayloadRef]  # zero-copy chunk views of the payload
     finished_at: int
     truncated: bool = False
     meta: Any = None  # sender's out-of-band protocol header
@@ -93,7 +94,7 @@ class Message:
     dst_port: int
     match: int
     size: int
-    data: Optional[bytes] = None
+    data: Optional[PayloadRef] = None  # scatter/gather chunk views
     rndv_id: int = 0  # correlates RTS/CTS/RDATA
     meta: Any = None  # out-of-band protocol header (size included in ``size``)
     rma_offset: int = 0  # directed sends: byte offset into the target window
@@ -117,7 +118,9 @@ class SendDescriptor:
     size: int
     src_port: int = 0
     sg: Optional[list[PhysSegment]] = None  # gather source (host memory)
-    data: Optional[bytes] = None  # pre-gathered payload (PIO/copy paths)
+    # Pre-gathered payload (PIO/copy paths); bytes-likes are normalized
+    # to PayloadRef by Nic.submit.
+    data: "Optional[PayloadRef | bytes]" = None
     translate_tx: bool = False  # NIC translates source address
     rendezvous: bool = False
     large_setup_ns: int = 0  # one-time DMA programming for rendezvous data
@@ -263,6 +266,10 @@ class _ReliableDelivery:
         if self.tracer is not None:
             self.tracer.emit(self.env.now, category, label, payload)
 
+    def _wants(self, category: str) -> bool:
+        """Cheap pre-check so hot paths skip building payload dicts."""
+        return self.tracer is not None and self.tracer.wants(category)
+
     def reset(self) -> None:
         """Forget all sequencing state (NIC reset / crash)."""
         self.epoch += 1
@@ -339,12 +346,13 @@ class _ReliableDelivery:
                     })
                     st.unacked.clear()
                     return
-                self._emit("nic", "retransmit", {
-                    "peer": peer,
-                    "count": len(st.unacked),
-                    "round": st.retries,
-                    "rto_ns": st.rto_cur,
-                })
+                if self._wants("nic"):
+                    self._emit("nic", "retransmit", {
+                        "peer": peer,
+                        "count": len(st.unacked),
+                        "round": st.retries,
+                        "rto_ns": st.rto_cur,
+                    })
                 st.rto_cur = min(st.rto_cur * 2, self.params.rto_max_ns)
                 # Go-back-N: resend everything still unacked, in order.
                 for seq in list(st.unacked):
@@ -371,9 +379,10 @@ class _ReliableDelivery:
             # Firmware CRC check fails; drop without acking so the
             # sender's retransmission recovers the payload.
             self.nic.crc_drops += 1
-            self._emit("fault", "corrupt_drop", {
-                "src": msg.src_nic, "seq": msg.seq, "kind": msg.kind.value,
-            })
+            if self._wants("fault"):
+                self._emit("fault", "corrupt_drop", {
+                    "src": msg.src_nic, "seq": msg.seq, "kind": msg.kind.value,
+                })
             return None
         if msg.ack:
             self._process_ack(msg.src_nic, msg.ack, msg.ack_epoch)
@@ -386,7 +395,8 @@ class _ReliableDelivery:
         if msg.epoch < known_epoch:
             # In-flight leftover from before the peer's reset.
             self.nic.duplicates_dropped += 1
-            self._emit("nic", "stale_epoch", {"peer": peer, "seq": msg.seq})
+            if self._wants("nic"):
+                self._emit("nic", "stale_epoch", {"peer": peer, "seq": msg.seq})
             return None
         if msg.epoch > known_epoch:
             # The peer restarted its sequence space in a new session;
@@ -405,14 +415,16 @@ class _ReliableDelivery:
             return msg
         if msg.seq <= last:
             self.nic.duplicates_dropped += 1
-            self._emit("nic", "duplicate", {"peer": peer, "seq": msg.seq})
+            if self._wants("nic"):
+                self._emit("nic", "duplicate", {"peer": peer, "seq": msg.seq})
             self._schedule_ack(peer)  # re-ack so the sender stops resending
             return None
         # A gap: something before this message was lost.  Go-back-N:
         # drop it and let the sender's timeout resend the whole window.
-        self._emit("nic", "gap", {
-            "peer": peer, "seq": msg.seq, "expected": last + 1,
-        })
+        if self._wants("nic"):
+            self._emit("nic", "gap", {
+                "peer": peer, "seq": msg.seq, "expected": last + 1,
+            })
         self._schedule_ack(peer)
         return None
 
@@ -573,6 +585,8 @@ class Nic:
             )
         if desc.completion is None:
             desc.completion = self.env.event(f"{self.name}.sendcomp")
+        if desc.data is not None and not isinstance(desc.data, PayloadRef):
+            desc.data = PayloadRef.from_bytes(desc.data)  # wrap, no copy
         self.env.process(self._tx_process(desc), name=f"{self.name}.tx")
         return desc.completion
 
@@ -615,9 +629,10 @@ class Nic:
             yield self.env.timeout(self.params.dma_setup_ns)
             data = desc.data
             if data is None and desc.sg is not None:
-                data = b"".join(
-                    self.phys.read_phys(seg.phys_addr, seg.length) for seg in desc.sg
-                )
+                # DMA gather: take zero-copy views of the source frames.
+                # The frames detach copy-on-write if the host reuses the
+                # buffer while the message is still in flight.
+                data = PayloadRef.from_phys(self.phys, desc.sg)
             yield self.env.timeout(self.params.link.cut_through_lag_ns)
             assert self._link is not None
             # Fragment onto the wire at MTU granularity so switches can
@@ -802,25 +817,18 @@ class Nic:
         truncated = msg.size > recv.capacity
         nbytes = min(msg.size, recv.capacity)
         if msg.data is not None and recv.dest_sg is not None:
-            view = memoryview(msg.data)[:nbytes]
-            skip = msg.rma_offset
-            for seg in recv.dest_sg:
-                if not view:
-                    break
-                if skip >= seg.length:
-                    skip -= seg.length
-                    continue
-                chunk = min(seg.length - skip, len(view))
-                self.phys.write_phys(seg.phys_addr + skip, bytes(view[:chunk]))
-                view = view[chunk:]
-                skip = 0
+            # DMA scatter: distribute the payload's chunk views straight
+            # into the destination segments — no intermediate bytes.
+            self.phys.write_phys_sg(
+                recv.dest_sg, msg.data.slice(0, nbytes), skip=msg.rma_offset
+            )
         completion = ReceiveCompletion(
             tag=recv.tag,
             size=nbytes,
             match=msg.match,
             src_nic=msg.src_nic,
             src_port=msg.src_port,
-            data=msg.data[:nbytes] if (recv.keep_data and msg.data is not None) else None,
+            data=msg.data.slice(0, nbytes) if (recv.keep_data and msg.data is not None) else None,
             finished_at=self.env.now,
             truncated=truncated,
             meta=msg.meta,

@@ -22,6 +22,7 @@ from typing import Optional
 
 from ..errors import Eexist, Einval, Eisdir, Enoent, Enotdir, Enotempty
 from ..hw.cpu import Cpu
+from ..mem.sglist import PayloadRef, write_chunks
 from ..sim import Environment
 from ..units import PAGE_SIZE
 from .vfs import InodeAttrs, UserBuffer
@@ -160,12 +161,20 @@ class MemFs:
         inode = self._file(inode_id)
         return bytes(inode.data[offset : offset + length])
 
-    def write_raw(self, inode_id: int, offset: int, data: bytes) -> int:
+    def write_raw(self, inode_id: int, offset: int, data) -> int:
+        """Accepts ``bytes`` or a :class:`repro.mem.PayloadRef`; payload
+        chunks are deposited one by one, never joined."""
         inode = self._file(inode_id)
         end = offset + len(data)
         if len(inode.data) < end:
             inode.data.extend(bytes(end - len(inode.data)))
-        inode.data[offset:end] = data
+        if isinstance(data, PayloadRef):
+            pos = offset
+            for chunk in write_chunks(data):
+                inode.data[pos : pos + len(chunk)] = chunk
+                pos += len(chunk)
+        else:
+            inode.data[offset:end] = data
         return len(data)
 
     # -- internals --------------------------------------------------------------------

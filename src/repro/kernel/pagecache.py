@@ -22,6 +22,8 @@ from typing import Optional
 
 from ..errors import KernelError
 from ..mem.phys import Frame, PhysicalMemory
+from ..mem.sglist import PayloadRef, seal, write_chunks
+from ..units import PAGE_SIZE
 
 
 @dataclass
@@ -37,6 +39,20 @@ class CachedPage:
     # wait on this event instead of issuing duplicate backing reads
     # (lock_page/wait_on_page semantics).
     fill_event: object = None
+
+    def payload(self, offset: int = 0, length: Optional[int] = None) -> PayloadRef:
+        """Zero-copy view of part of this page as a :class:`PayloadRef`
+        (copy-on-write: a later write to the page detaches first)."""
+        if length is None:
+            length = PAGE_SIZE - offset
+        return seal(PayloadRef.from_chunks([self.frame.view(offset, length)]))
+
+    def fill(self, offset: int, payload: PayloadRef) -> None:
+        """Scatter a :class:`PayloadRef` into this page at ``offset``."""
+        pos = offset
+        for chunk in write_chunks(payload):
+            self.frame.write(pos, chunk)
+            pos += len(chunk)
 
 
 class PageCache:

@@ -23,14 +23,17 @@ from .addrspace import VMA, AddressSpace, AddressSpaceChange, Prot
 from .kmem import KernelAllocation, KernelSpace
 from .layout import PhysSegment, sg_from_frames, sg_from_kernel, sg_from_user
 from .phys import Frame, PhysicalMemory
+from .sglist import HOST_COPIES, PayloadRef
 
 __all__ = [
+    "HOST_COPIES",
     "VMA",
     "AddressSpace",
     "AddressSpaceChange",
     "Frame",
     "KernelAllocation",
     "KernelSpace",
+    "PayloadRef",
     "PhysSegment",
     "PhysicalMemory",
     "Prot",

@@ -32,6 +32,7 @@ from typing import Callable, Iterator, Optional
 from ..errors import BadAddress, ProtectionFault
 from ..units import PAGE_MASK, PAGE_SIZE, page_align_up
 from .phys import Frame, PhysicalMemory
+from .sglist import PayloadRef, seal, write_chunks
 
 USER_BASE = 0x1000_0000  # first user-mappable virtual address
 USER_TOP = 0x8000_0000  # 2 GB user space, mirroring 32-bit Linux
@@ -304,7 +305,7 @@ class AddressSpace:
             phys = self.translate(addr, write=True)
             offset = phys & PAGE_MASK
             chunk = min(len(view), PAGE_SIZE - offset)
-            self.phys.write_phys(phys, bytes(view[:chunk]))
+            self.phys.write_phys(phys, view[:chunk])
             addr += chunk
             view = view[chunk:]
 
@@ -321,6 +322,29 @@ class AddressSpace:
             addr += chunk
             remaining -= chunk
         return bytes(out)
+
+    def read_payload(self, vaddr: int, length: int) -> PayloadRef:
+        """Zero-copy gather of ``length`` bytes at ``vaddr`` into a
+        :class:`PayloadRef` of page-span views (pages fault in)."""
+        chunks: list = []
+        addr = vaddr
+        remaining = length
+        while remaining > 0:
+            phys = self.translate(addr, write=False)
+            offset = phys & PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - offset)
+            chunks.append(self.phys.frame_at_phys(phys).view(offset, chunk))
+            addr += chunk
+            remaining -= chunk
+        return seal(PayloadRef.from_chunks(chunks))
+
+    def write_payload(self, vaddr: int, payload: PayloadRef) -> None:
+        """Scatter a :class:`PayloadRef` into this address space at
+        ``vaddr`` — the zero-copy counterpart of :meth:`write_bytes`."""
+        addr = vaddr
+        for chunk in write_chunks(payload):
+            self.write_bytes(addr, chunk)
+            addr += len(chunk)
 
     # -- pinning (get_user_pages model) -------------------------------------
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from ..errors import BadAddress
 from ..units import PAGE_MASK, PAGE_SIZE, page_align_up
 from .phys import Frame, PhysicalMemory
+from .sglist import PayloadRef, seal, write_chunks
 
 KERNEL_BASE = 0xC000_0000  # 3 GB: start of kernel virtual addresses
 
@@ -128,3 +129,25 @@ class KernelSpace:
             addr += chunk
             remaining -= chunk
         return b"".join(chunks)
+
+    def read_payload(self, vaddr: int, length: int) -> PayloadRef:
+        """Zero-copy gather of a kernel virtual range into a
+        :class:`PayloadRef` of page-span views."""
+        chunks: list = []
+        addr = vaddr
+        remaining = length
+        while remaining > 0:
+            phys = self.translate(addr)
+            offset = phys & PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - offset)
+            chunks.append(self.phys.frame_at_phys(phys).view(offset, chunk))
+            addr += chunk
+            remaining -= chunk
+        return seal(PayloadRef.from_chunks(chunks))
+
+    def write_payload(self, vaddr: int, payload: PayloadRef) -> None:
+        """Scatter a :class:`PayloadRef` at a kernel virtual address."""
+        addr = vaddr
+        for chunk in write_chunks(payload):
+            self.write_bytes(addr, chunk)
+            addr += len(chunk)

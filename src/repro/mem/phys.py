@@ -18,19 +18,29 @@ from typing import Optional
 
 from ..errors import OutOfMemory, PinningError
 from ..units import PAGE_SHIFT, PAGE_SIZE
+from .sglist import HOST_COPIES, materialize_enabled
 
 _ZERO_PAGE = bytes(PAGE_SIZE)
 
 
 class Frame:
-    """One physical page frame: PFN, pin count, lazy byte storage."""
+    """One physical page frame: PFN, pin count, lazy byte storage.
 
-    __slots__ = ("pfn", "pin_count", "_data")
+    Storage supports copy-on-write detach: :meth:`view` hands out
+    zero-copy read-only views (the spans a :class:`repro.mem.sglist.
+    PayloadRef` is made of) and marks the frame *shared*; the next
+    :meth:`write` then re-allocates the backing store first, so views
+    taken earlier — e.g. a payload still in flight on the simulated
+    wire — keep seeing the bytes as they were at gather time.
+    """
+
+    __slots__ = ("pfn", "pin_count", "_data", "_shared")
 
     def __init__(self, pfn: int):
         self.pfn = pfn
         self.pin_count = 0
         self._data: Optional[bytearray] = None
+        self._shared = False
 
     @property
     def phys_addr(self) -> int:
@@ -52,18 +62,46 @@ class Frame:
         self.pin_count -= 1
 
     def read(self, offset: int, length: int) -> bytes:
-        """Read ``length`` bytes at ``offset`` within the frame."""
+        """Read ``length`` bytes at ``offset`` within the frame (a real,
+        counted host copy; prefer :meth:`view` on the data path)."""
         self._check_range(offset, length)
+        if length > 0:
+            HOST_COPIES.copies += 1
+            HOST_COPIES.nbytes += length
         if self._data is None:
             return _ZERO_PAGE[offset : offset + length]
         return bytes(self._data[offset : offset + length])
 
+    def view(self, offset: int, length: int) -> memoryview:
+        """Zero-copy read-only view of ``length`` bytes at ``offset``.
+
+        The frame is marked shared; a later :meth:`write` detaches the
+        storage (copy-on-write) so the view stays stable.  An unwritten
+        frame returns a view of the shared zero page (a snapshot of its
+        current all-zero content, consistent with COW semantics).
+        """
+        self._check_range(offset, length)
+        if self._data is None:
+            return memoryview(_ZERO_PAGE)[offset : offset + length]
+        self._shared = True
+        return memoryview(self._data).toreadonly()[offset : offset + length]
+
     def write(self, offset: int, data: "bytes | bytearray | memoryview") -> None:
         """Write ``data`` at ``offset`` within the frame."""
-        self._check_range(offset, len(data))
+        nbytes = len(data)
+        self._check_range(offset, nbytes)
         if self._data is None:
             self._data = bytearray(PAGE_SIZE)
-        self._data[offset : offset + len(data)] = data
+        elif self._shared:
+            # Copy-on-write detach: outstanding views keep the old
+            # storage; this write (and later ones) get fresh storage.
+            self._data = bytearray(self._data)
+            self._shared = False
+            HOST_COPIES.count(PAGE_SIZE)
+        if nbytes > 0:
+            HOST_COPIES.copies += 1
+            HOST_COPIES.nbytes += nbytes
+        self._data[offset : offset + nbytes] = data
 
     def _check_range(self, offset: int, length: int) -> None:
         if offset < 0 or length < 0 or offset + length > PAGE_SIZE:
@@ -187,6 +225,13 @@ class PhysicalMemory:
 
     def read_phys(self, phys_addr: int, length: int) -> bytes:
         """Read bytes starting at a physical address, crossing frames."""
+        if length <= 0:
+            return b""
+        offset = phys_addr & (PAGE_SIZE - 1)
+        if offset + length <= PAGE_SIZE:
+            # Fast path: the whole range lives in one frame — a single
+            # slice, no chunk list, no join.
+            return self.frame(phys_addr >> PAGE_SHIFT).read(offset, length)
         chunks = []
         addr = phys_addr
         remaining = length
@@ -197,7 +242,23 @@ class PhysicalMemory:
             chunks.append(frame.read(offset, chunk))
             addr += chunk
             remaining -= chunk
+        HOST_COPIES.count(length)  # the join below is a second real copy
         return b"".join(chunks)
+
+    def read_phys_view(self, phys_addr: int, length: int) -> list[memoryview]:
+        """Zero-copy chunk views of a physical range (one per frame
+        crossed) — what a DMA gather engine reads."""
+        views: list[memoryview] = []
+        addr = phys_addr
+        remaining = length
+        while remaining > 0:
+            frame = self.frame(addr >> PAGE_SHIFT)
+            offset = addr & (PAGE_SIZE - 1)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            views.append(frame.view(offset, chunk))
+            addr += chunk
+            remaining -= chunk
+        return views
 
     def write_phys(self, phys_addr: int, data: "bytes | bytearray | memoryview") -> None:
         """Write bytes starting at a physical address, crossing frames."""
@@ -210,3 +271,49 @@ class PhysicalMemory:
             frame.write(offset, view[:chunk])
             addr += chunk
             view = view[chunk:]
+
+    def write_phys_sg(self, sg, payload, skip: int = 0) -> int:
+        """Scatter a :class:`repro.mem.sglist.PayloadRef` across a
+        physical segment list — what a DMA scatter engine does.
+
+        ``sg`` is any iterable of segments with ``phys_addr``/``length``
+        (duck-typed to avoid a circular import with ``layout``).
+        ``skip`` consumes leading bytes of the segment list before the
+        first write (directed-send deposit offsets).  Writing stops when
+        either the payload or the segments run out; returns the bytes
+        written.
+
+        In legacy/materialize mode each per-segment piece is re-cast to
+        ``bytes`` first (and counted) — exactly the ``bytes(view[:chunk])``
+        the old NIC scatter loop performed before ``write_phys``.
+        """
+        legacy = materialize_enabled()
+        segs = iter(sg)
+        seg = next(segs, None)
+        seg_off = 0
+        while seg is not None and skip > 0:
+            step = min(skip, seg.length - seg_off)
+            seg_off += step
+            skip -= step
+            if seg_off == seg.length:
+                seg = next(segs, None)
+                seg_off = 0
+        written = 0
+        for chunk in payload.chunks():
+            view = chunk if isinstance(chunk, memoryview) else memoryview(chunk)
+            while len(view) and seg is not None:
+                n = min(len(view), seg.length - seg_off)
+                piece = view[:n]
+                if legacy:
+                    HOST_COPIES.count(n)
+                    piece = bytes(piece)
+                self.write_phys(seg.phys_addr + seg_off, piece)
+                written += n
+                seg_off += n
+                view = view[n:]
+                if seg_off == seg.length:
+                    seg = next(segs, None)
+                    seg_off = 0
+            if seg is None:
+                break
+        return written

@@ -43,6 +43,7 @@ from ..hw.params import (
     MxStrategyParams,
 )
 from ..mem.layout import PhysSegment, sg_from_kernel, sg_from_user
+from ..mem.sglist import PayloadRef, seal, write_chunks
 from ..sim import Event
 from .memtypes import MemType, MxSegment, total_length, user_pages
 
@@ -109,43 +110,34 @@ class MxEndpoint:
                     f"user endpoints only pass user-virtual memory, got {seg.kind}"
                 )
 
-    def _gather_bytes(self, segments: Sequence[MxSegment]) -> bytes:
-        """Host-side read of the payload (used by PIO and copy paths)."""
+    def _gather_payload(self, segments: Sequence[MxSegment]) -> PayloadRef:
+        """Host-side gather of the payload into zero-copy chunk views
+        (used by the PIO and bounce-ring copy paths)."""
         parts = []
         for seg in segments:
             if seg.kind is MemType.USER_VIRTUAL:
-                parts.append(seg.space.read_bytes(seg.vaddr, seg.length))
+                parts.append(seg.space.read_payload(seg.vaddr, seg.length))
             elif seg.kind is MemType.KERNEL_VIRTUAL:
-                parts.append(self.node.kspace.read_bytes(seg.vaddr, seg.length))
+                parts.append(self.node.kspace.read_payload(seg.vaddr, seg.length))
             else:
-                parts.append(
-                    b"".join(
-                        self.node.phys.read_phys(p.phys_addr, p.length)
-                        for p in seg.sg
-                    )
-                )
-        return b"".join(parts)
+                parts.append(PayloadRef.from_phys(self.node.phys, seg.sg))
+        return seal(PayloadRef.concat(parts))
 
-    def _scatter_bytes(self, segments: Sequence[MxSegment], data: bytes) -> None:
-        """Host-side write of a received payload into its segments."""
-        view = memoryview(data)
+    def _scatter_payload(self, segments: Sequence[MxSegment], data: PayloadRef) -> None:
+        """Host-side scatter of a received payload into its segments."""
+        offset = 0
         for seg in segments:
-            if not view:
+            if offset >= data.length:
                 break
-            chunk = min(seg.length, len(view))
+            take = min(seg.length, data.length - offset)
+            part = data.slice(offset, take)
             if seg.kind is MemType.USER_VIRTUAL:
-                seg.space.write_bytes(seg.vaddr, bytes(view[:chunk]))
+                seg.space.write_payload(seg.vaddr, part)
             elif seg.kind is MemType.KERNEL_VIRTUAL:
-                self.node.kspace.write_bytes(seg.vaddr, bytes(view[:chunk]))
+                self.node.kspace.write_payload(seg.vaddr, part)
             else:
-                sub = view[:chunk]
-                for p in seg.sg:
-                    if not sub:
-                        break
-                    piece = min(p.length, len(sub))
-                    self.node.phys.write_phys(p.phys_addr, bytes(sub[:piece]))
-                    sub = sub[piece:]
-            view = view[chunk:]
+                self.node.phys.write_phys_sg(seg.sg, part)
+            offset += take
 
     def _resolve_sg(self, segments: Sequence[MxSegment]) -> list[PhysSegment]:
         """Physical scatter/gather for zero-copy paths (pages must be
@@ -197,10 +189,10 @@ class MxEndpoint:
 
     def _send_small(self, dst_node, dst_endpoint, segments, match, req, meta=None):
         self.sends_small += 1
-        data = self._gather_bytes(segments)
+        data = self._gather_payload(segments)
         # Payload is PIO-written with the descriptor.
         yield from self.cpu.work(
-            self.node.nic.doorbell_time_ns() + _PIO_PER_BYTE_NS * len(data)
+            self.node.nic.doorbell_time_ns() + _PIO_PER_BYTE_NS * data.length
         )
         desc = SendDescriptor(
             dst_nic=dst_node, dst_port=dst_endpoint, match=match, size=req.length,
@@ -223,7 +215,7 @@ class MxEndpoint:
             # implementation uses a copy on both sides when processing
             # medium side messages", section 5.1).
             yield from self.cpu.copy(req.length)
-            data, src_sg = self._gather_bytes(segments), None
+            data, src_sg = self._gather_payload(segments), None
         yield from self.cpu.work(self.node.nic.doorbell_time_ns())
         desc = SendDescriptor(
             dst_nic=dst_node, dst_port=dst_endpoint, match=match, size=req.length,
@@ -322,7 +314,7 @@ class MxEndpoint:
         completion = yield nic_event
         yield from self.cpu.copy(completion.size)
         if completion.data is not None:
-            self._scatter_bytes(segments, completion.data)
+            self._scatter_payload(segments, completion.data)
         req.result = completion
         req.event.succeed(req)
 

@@ -184,7 +184,7 @@ class NbdDevice:
                 yield from self.read_block(block, page.frame)
                 page.uptodate = True
             yield from self.cpu.copy(chunk)
-            space.write_bytes(vaddr + done, page.frame.read(in_block, chunk))
+            space.write_payload(vaddr + done, page.payload(in_block, chunk))
             pos += chunk
             done += chunk
         return done
@@ -206,7 +206,7 @@ class NbdDevice:
                     yield from self.read_block(block, page.frame)
                 page.uptodate = True
             yield from self.cpu.copy(chunk)
-            page.frame.write(in_block, space.read_bytes(vaddr + done, chunk))
+            page.fill(in_block, space.read_payload(vaddr + done, chunk))
             page.dirty = True
             pos += chunk
             done += chunk

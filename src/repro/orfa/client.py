@@ -111,9 +111,10 @@ class _GmClientSide:
         yield from self.port.provide_receive_buffer(
             self._reply_buf, 4096, match=req.request_id
         )
+        # The modeled staging copy is charged as before; the host relays
+        # the app pages into the request buffer without joining them.
         yield from self.node.cpu.copy(req.length)
-        data = self.space.read_bytes(vaddr, req.length)
-        self.space.write_bytes(self._req_buf, data)
+        self.space.write_payload(self._req_buf, self.space.read_payload(vaddr, req.length))
         # The staged payload travels inside the request message.
         yield from self.port.send(
             dst[0], dst[1], self._req_buf, req.wire_size() + req.length, meta=req,

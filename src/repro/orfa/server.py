@@ -57,7 +57,7 @@ MAX_READ_REPLY = MiB
 @dataclass
 class _Incoming:
     request: OrfaRequest
-    data: Optional[bytes]
+    data: object  # PayloadRef (zero-copy views of the ring slot) or b""
     src_node: int
     src_port: int
 
@@ -108,9 +108,10 @@ class _GmServerTransport:
         if not isinstance(event.meta, OrfaRequest):
             raise ProtocolError(f"non-ORFA message: {event.meta!r}")
         kind, idx = event.tag
-        # GM deposited the message into the registered ring slot; read
-        # the payload out of it before the slot is recycled.
-        data = self.space.read_bytes(self._ring[idx], event.size) if event.size else b""
+        # GM deposited the message into the registered ring slot; take
+        # zero-copy views of it — recycling the slot below is safe
+        # because the frames detach copy-on-write when rewritten.
+        data = self.space.read_payload(self._ring[idx], event.size) if event.size else b""
         self._incoming.put(
             _Incoming(
                 request=event.meta,
@@ -191,7 +192,7 @@ class _MxServerTransport:
         if completion.data is not None:
             data = completion.data
         elif completion.size:
-            data = self.space.read_bytes(vaddr, completion.size)
+            data = self.space.read_payload(vaddr, completion.size)
         else:
             data = b""
         incoming = _Incoming(

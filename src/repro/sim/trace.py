@@ -42,6 +42,15 @@ class Tracer:
             self._record_all = []
         return self._record_all
 
+    def wants(self, category: str) -> bool:
+        """True if anything would observe an emit in ``category``.
+
+        Hot paths check this before building expensive payload dicts, so
+        disabled tracing costs one dict lookup with no argument
+        construction.
+        """
+        return self._record_all is not None or category in self._subs
+
     def emit(self, time: int, category: str, label: str, payload: Any = None) -> None:
         """Publish a record; no-op unless someone subscribed."""
         subs = self._subs.get(category)

@@ -209,9 +209,10 @@ class SocketsGmModule:
             raise SocketError(f"message of {length} exceeds {MAX_SOCK_MSG}")
         idx = yield from self._take_tx()
         alloc = self._tx[idx][0]
+        # The modeled bounce copy is charged as before; the host relays
+        # page views user->kernel without an intermediate bytes object.
         yield from self.cpu.copy(length)
-        data = space.read_bytes(vaddr, length)
-        self.node.kspace.write_bytes(alloc.vaddr, data)
+        self.node.kspace.write_payload(alloc.vaddr, space.read_payload(vaddr, length))
         yield from self.cpu.work(_PORT_LOCK_NS)
         yield from self.port.send_registered(
             sock.peer_node, sock.peer_port, alloc.vaddr, length,
@@ -242,7 +243,6 @@ class SocketsGmModule:
         tail = min(event.size, _RECV_COPY_PIPELINE_CHUNK)
         yield from self.cpu.resource.acquire(self.cpu.copy_time_ns(tail))
         self.cpu.copied_bytes += event.size
-        data = self.node.kspace.read_bytes(alloc.vaddr, event.size)
-        space.write_bytes(vaddr, data)
+        space.write_payload(vaddr, self.node.kspace.read_payload(alloc.vaddr, event.size))
         self._rx_free.append(idx)
         return event.size

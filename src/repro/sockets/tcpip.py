@@ -119,7 +119,7 @@ class TcpStack:
             raise SocketError("stack not attached to a link")
         yield from self._stack_cost(length)
         yield from self.cpu.copy(length)  # user -> sk_buff
-        data = space.read_bytes(vaddr, length)
+        data = space.read_payload(vaddr, length)
         yield from self._link.transmit(
             self._end, ("data", sock.conn_id, data), length
         )
@@ -135,7 +135,7 @@ class TcpStack:
                 f"message of {len(data)} bytes arrived for a "
                 f"{length}-byte recv"
             )
-        space.write_bytes(vaddr, data)
+        space.write_payload(vaddr, data)
         return len(data)
 
 

@@ -1,0 +1,199 @@
+"""Tests for the scatter/gather payload plumbing (repro.mem.sglist).
+
+Two pillars:
+
+* Property-style equivalence — any gather/scatter through
+  :class:`PayloadRef` must move exactly the same bytes as the naive
+  ``bytes``-everywhere path, across odd offsets, page-straddling spans,
+  empty segments and deposit skips, in both host modes.
+* Figure identity — the zero-copy plumbing must not perturb a single
+  byte of the pinned benchmark output (model costs are charged, host
+  copies are not).
+"""
+
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import PayloadRef, PhysicalMemory
+from repro.mem import sglist
+from repro.sim.trace import Tracer
+from repro.units import PAGE_SIZE, pages_spanned
+
+
+@dataclass
+class Seg:
+    """Minimal duck-typed physical segment (what write_phys_sg needs)."""
+
+    phys_addr: int
+    length: int
+
+
+def _chunked(data: bytes, cuts) -> PayloadRef:
+    """Split ``data`` at arbitrary cut points into a PayloadRef."""
+    n = len(data)
+    bounds = sorted({0, n, *(c % (n + 1) for c in cuts)})
+    view = memoryview(data)
+    return PayloadRef.from_chunks(
+        view[a:b] for a, b in zip(bounds, bounds[1:])
+    )
+
+
+# -- pure PayloadRef semantics ------------------------------------------------
+
+
+@given(
+    data=st.binary(max_size=2048),
+    cuts=st.lists(st.integers(0, 2048), max_size=8),
+    start=st.integers(0, 2200),
+    length=st.integers(0, 2200),
+)
+@settings(max_examples=80, deadline=None)
+def test_slice_matches_bytes_slicing(data, cuts, start, length):
+    ref = _chunked(data, cuts)
+    assert ref.length == len(data)
+    assert ref.tobytes() == data
+    assert ref.slice(start, length).tobytes() == data[start:start + length]
+    assert ref.slice(start).tobytes() == data[start:]
+    assert ref[start:start + length] == data[start:start + length]
+
+
+@given(
+    data=st.binary(max_size=1024),
+    cuts_a=st.lists(st.integers(0, 1024), max_size=6),
+    cuts_b=st.lists(st.integers(0, 1024), max_size=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_equality_is_content_based_across_chunkings(data, cuts_a, cuts_b):
+    a = _chunked(data, cuts_a)
+    b = _chunked(data, cuts_b)
+    assert a == b
+    assert a == data
+    assert a.checksum() == b.checksum() == zlib.crc32(data) & 0xFFFFFFFF
+    if data:
+        assert a != data[:-1] + bytes([data[-1] ^ 1])
+
+
+def test_concat_splices_without_copying():
+    parts = [b"abc", b"", b"defgh", b"!"]
+    ref = PayloadRef.concat(PayloadRef.from_bytes(p) for p in parts)
+    assert ref == b"abcdefgh!"
+    assert len(ref) == 9
+    assert ref[3] == ord("d") and ref[-1] == ord("!")
+    assert bool(PayloadRef.empty()) is False
+    assert bytes(ref) == b"abcdefgh!"
+
+
+# -- scatter/gather through physical memory -----------------------------------
+
+
+@given(
+    data=st.binary(min_size=1, max_size=3 * PAGE_SIZE),
+    src_off=st.integers(0, PAGE_SIZE - 1),
+    dst_off=st.integers(0, PAGE_SIZE - 1),
+    cuts=st.lists(st.integers(0, 3 * PAGE_SIZE), max_size=6),
+    skip=st.integers(0, 2 * PAGE_SIZE),
+    legacy=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_scatter_gather_matches_naive_bytes_path(
+    data, src_off, dst_off, cuts, skip, legacy
+):
+    """Gather → scatter via PayloadRef lands the same bytes the old
+    materialize-everything path did, for any segment cuts, offsets and
+    deposit skip — in both host modes."""
+    phys = PhysicalMemory(64)
+    n = len(data)
+    src_frames = [phys.alloc() for _ in range(pages_spanned(src_off, n))]
+    src_base = src_frames[0].phys_addr + src_off
+    phys.write_phys(src_base, data)  # the naive reference write
+
+    bounds = sorted({0, n, *(c % (n + 1) for c in cuts)})
+    segs = [Seg(src_base + a, b - a) for a, b in zip(bounds, bounds[1:])]
+    segs.insert(len(segs) // 2, Seg(src_base, 0))  # empty segment is a no-op
+
+    sglist.set_materialize(legacy)
+    try:
+        payload = PayloadRef.from_phys(phys, segs)
+        assert payload.length == n
+        assert payload == data
+
+        dst_frames = [
+            phys.alloc() for _ in range(pages_spanned(dst_off, skip + n))
+        ]
+        dst_base = dst_frames[0].phys_addr + dst_off
+        written = phys.write_phys_sg([Seg(dst_base, skip + n)], payload,
+                                     skip=skip)
+        assert written == n
+        assert phys.read_phys(dst_base + skip, n) == data
+    finally:
+        sglist.set_materialize(False)
+
+
+def test_inflight_payload_survives_frame_recycling():
+    """COW: a view taken at gather time keeps its bytes even after the
+    source frame (a recycled tx buffer, a receive-ring slot) is
+    rewritten."""
+    phys = PhysicalMemory(4)
+    frame = phys.alloc()
+    frame.write(0, b"old payload!")
+    ref = PayloadRef.from_chunks([frame.view(0, 12)])
+    frame.write(0, b"NEW PAYLOAD?")
+    assert ref.tobytes() == b"old payload!"
+    assert phys.read_phys(frame.phys_addr, 12) == b"NEW PAYLOAD?"
+
+
+def test_materialize_mode_counts_the_copies_it_performs():
+    """Legacy mode really performs (and counts) the gather-join and the
+    per-segment casts; zero-copy mode pays only the final deposit."""
+    data = bytes(range(256)) * 16  # one page
+    counts = {}
+    for legacy in (False, True):
+        phys = PhysicalMemory(8)
+        src = phys.alloc()
+        dst = phys.alloc()
+        phys.write_phys(src.phys_addr, data)
+        sglist.set_materialize(legacy)
+        sglist.HOST_COPIES.reset()
+        try:
+            payload = PayloadRef.from_phys(
+                phys, [Seg(src.phys_addr, len(data))]
+            )
+            phys.write_phys_sg([Seg(dst.phys_addr, len(data))], payload)
+        finally:
+            sglist.set_materialize(False)
+        counts[legacy] = sglist.HOST_COPIES.snapshot()["nbytes"]
+        sglist.HOST_COPIES.reset()
+        assert phys.read_phys(dst.phys_addr, len(data)) == data
+    assert counts[False] == len(data)  # the deposit only
+    assert counts[True] >= 2 * counts[False]  # + join + cast
+
+
+def test_tracer_wants_gates_expensive_payloads():
+    tracer = Tracer()
+    assert not tracer.wants("nic")
+    tracer.subscribe("nic", lambda rec: None)
+    assert tracer.wants("nic")
+    assert not tracer.wants("rpc")
+    tracer.record_everything()
+    assert tracer.wants("rpc")  # record-all observes every category
+
+
+# -- figure identity ----------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_bench_all_is_byte_identical_to_pinned_figures(capsys):
+    """The whole zero-copy refactor must not move a single output byte:
+    ``bench all`` is diffed against the pinned bench_figures.txt."""
+    from repro.bench.runner import main
+
+    assert main(["all", "--parallel", "4"]) == 0
+    out = capsys.readouterr().out
+    pinned = Path(__file__).resolve().parents[1] / "bench_figures.txt"
+    assert out == pinned.read_text(), (
+        "bench all output diverged from bench_figures.txt"
+    )
