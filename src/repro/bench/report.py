@@ -37,6 +37,44 @@ def format_series(
     return format_table(title, headers, rows)
 
 
+def format_metrics(snapshot: dict) -> str:
+    """Render a metrics registry snapshot (see ``repro.obs``) as the
+    same aligned tables the figure drivers print.
+
+    Counters and gauges become one two-column table each; every
+    histogram gets its own table with count/sum/mean summary rows
+    followed by the non-empty buckets.  Keys are already sorted by the
+    snapshot itself (stable JSON), so the rendering is deterministic.
+    """
+    sections = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        rows = [[k, str(v)] for k, v in sorted(counters.items())]
+        sections.append(format_table("metrics: counters",
+                                     ["counter", "value"], rows))
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        rows = [[k, str(v)] for k, v in sorted(gauges.items())]
+        sections.append(format_table("metrics: gauges",
+                                     ["gauge", "value"], rows))
+    for key, hist in sorted(snapshot.get("histograms", {}).items()):
+        count = hist.get("count", 0)
+        total = hist.get("sum", 0)
+        mean = total / count if count else 0.0
+        rows = [["count", str(count)], ["sum", str(total)],
+                ["mean", f"{mean:.1f}"]]
+        for bound, n in hist.get("buckets", []):
+            if n:
+                rows.append([f"<= {bound}", str(n)])
+        if hist.get("overflow"):
+            rows.append(["overflow", str(hist["overflow"])])
+        sections.append(format_table(f"histogram: {key}",
+                                     ["bucket", "count"], rows))
+    if not sections:
+        return "== metrics: empty =="
+    return "\n\n".join(sections)
+
+
 def format_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     """Render an aligned ASCII table with a title rule."""
     widths = [len(h) for h in headers]

@@ -24,14 +24,26 @@ import json
 import sys
 import time
 
+from .. import obs
 from .figures import FIGURES, run_figure
+from .report import format_metrics
 
 ALL = sorted(FIGURES) + ["table1"]
+
+
+def _mark_figure(name: str) -> None:
+    """Drop a figure-boundary marker on the ambient timeline (no-op when
+    observability is off, and in parallel workers, which never inherit
+    the ambient timeline)."""
+    tl = obs.active_timeline()
+    if tl is not None:
+        tl.instant(0, "bench", f"figure:{name}")
 
 
 def _run_text(name: str) -> tuple[str, str, float]:
     """Worker: render one experiment; returns (name, text, seconds)."""
     t0 = time.perf_counter()
+    _mark_figure(name)
     text = run_figure(name)
     return name, text, time.perf_counter() - t0
 
@@ -39,6 +51,7 @@ def _run_text(name: str) -> tuple[str, str, float]:
 def _run_json(name: str) -> tuple[str, dict, float]:
     """Worker: run one figure for --json; returns (name, payload, seconds)."""
     t0 = time.perf_counter()
+    _mark_figure(name)
     data = FIGURES[name]()
     payload = {
         "title": data.title,
@@ -88,6 +101,14 @@ def main(argv: list[str] | None = None) -> int:
                              "results are identical to a sequential run)")
     parser.add_argument("--timings", action="store_true",
                         help="report per-experiment wall-clock on stderr")
+    parser.add_argument("--metrics", metavar="OUT.json",
+                        help="collect a metrics snapshot over the whole run "
+                             "and write it to OUT.json (also prints a table "
+                             "to stderr; forces sequential execution)")
+    parser.add_argument("--timeline", metavar="OUT.trace.json",
+                        help="record a Chrome trace-event timeline and write "
+                             "it to OUT.trace.json (load in Perfetto / "
+                             "chrome://tracing; forces sequential execution)")
     args = parser.parse_args(argv)
     if args.list or not args.experiments:
         print("\n".join(ALL))
@@ -95,23 +116,47 @@ def main(argv: list[str] | None = None) -> int:
     if args.parallel < 1:
         print(f"--parallel must be >= 1, got {args.parallel}", file=sys.stderr)
         return 2
+    observing = args.metrics or args.timeline
+    if observing and args.parallel > 1:
+        # Parallel workers can't share one ambient registry/timeline;
+        # refusing beats silently collecting a fraction of the run.
+        print("--metrics/--timeline require --parallel 1", file=sys.stderr)
+        return 2
     names = ALL if args.experiments == ["all"] else args.experiments
     for name in names:
         if name not in ALL:
             print(f"unknown experiment {name!r}", file=sys.stderr)
             return 2
 
+    registry = timeline = None
+    if args.metrics:
+        registry = obs.MetricsRegistry()
+        obs.install_registry(registry)
+    if args.timeline:
+        timeline = obs.Timeline()
+        obs.install_timeline(timeline)
     t_all = time.perf_counter()
-    if args.json:
-        names = [n for n in names if n != "table1"]
-        results = _execute(names, _run_json, args.parallel)
-        print(json.dumps({name: payload for name, payload, _ in results},
-                         indent=2))
-    else:
-        results = _execute(names, _run_text, args.parallel)
-        for _, text, _ in results:
-            print(text)
-            print()
+    try:
+        if args.json:
+            names = [n for n in names if n != "table1"]
+            results = _execute(names, _run_json, args.parallel)
+            print(json.dumps({name: payload for name, payload, _ in results},
+                             indent=2))
+        else:
+            results = _execute(names, _run_text, args.parallel)
+            for _, text, _ in results:
+                print(text)
+                print()
+    finally:
+        if registry is not None:
+            obs.uninstall_registry()
+        if timeline is not None:
+            obs.uninstall_timeline()
+    if registry is not None:
+        registry.write(args.metrics)
+        print(format_metrics(registry.snapshot()), file=sys.stderr)
+    if timeline is not None:
+        timeline.write(args.timeline)
     if args.timings:
         for name, _, secs in results:
             print(f"[timing] {name:8s} {secs:7.3f} s", file=sys.stderr)

@@ -34,9 +34,10 @@ class Node:
         self.cpu = Cpu(env, params.cpu, capacity=params.cpu_cores,
                        name=f"{self.name}.cpu")
         self.kspace = KernelSpace(self.phys)
-        self.pagecache = PageCache(self.phys, max_pages=params.memory_frames // 2)
+        self.pagecache = PageCache(self.phys, max_pages=params.memory_frames // 2,
+                                   name=f"{self.name}.pagecache")
         self.vfs = Vfs(env, self.cpu, self.pagecache)
-        self.vmaspy = VmaSpy()
+        self.vmaspy = VmaSpy(name=f"{self.name}.vmaspy")
         self.nic = Nic(env, params.nic, self.phys, node_id, name=f"{self.name}.nic")
 
     def new_process_space(self) -> AddressSpace:

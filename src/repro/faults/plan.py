@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional
 
+from .. import obs
 from ..hw.link import Link
 from ..hw.nic import MsgKind, Nic
 from ..hw.params import DEFAULT_RELIABILITY, ReliabilityParams
@@ -90,14 +91,31 @@ class LinkFaultInjector:
     """
 
     def __init__(self, env: Environment, spec: LinkFaultSpec,
-                 rng: _FaultRng, tracer: Optional[Tracer]):
+                 rng: _FaultRng, tracer: Optional[Tracer],
+                 link_name: str = "link"):
         self.env = env
         self.spec = spec
         self.rng = rng
         self.tracer = tracer
-        self.dropped = 0
-        self.corrupted = 0
-        self.down_drops = 0
+        self.link_name = link_name
+        # Injection accounting on the metrics registry (unregistered
+        # per-instance counters while no registry is installed); the
+        # classic attribute names below read through to them.
+        self._m_dropped = obs.counter("faults.drops", link=link_name)
+        self._m_corrupted = obs.counter("faults.corrupts", link=link_name)
+        self._m_down_drops = obs.counter("faults.down_drops", link=link_name)
+
+    @property
+    def dropped(self) -> int:
+        return self._m_dropped.value
+
+    @property
+    def corrupted(self) -> int:
+        return self._m_corrupted.value
+
+    @property
+    def down_drops(self) -> int:
+        return self._m_down_drops.value
 
     @property
     def down(self) -> bool:
@@ -118,7 +136,7 @@ class LinkFaultInjector:
         if kind is MsgKind.FRAG:
             return item  # pacing packet: semantics ride the final packet
         if self.down:
-            self.down_drops += 1
+            self._m_down_drops.inc()
             if self._wants():
                 self._emit("link_down_drop", {
                     "link": link.name,
@@ -126,7 +144,7 @@ class LinkFaultInjector:
                 })
             return None
         if self.spec.drop_prob and self.rng.chance(self.spec.drop_prob):
-            self.dropped += 1
+            self._m_dropped.inc()
             if self._wants():
                 self._emit("drop", {
                     "link": link.name,
@@ -135,7 +153,7 @@ class LinkFaultInjector:
                 })
             return None
         if self.spec.corrupt_prob and self.rng.chance(self.spec.corrupt_prob):
-            self.corrupted += 1
+            self._m_corrupted.inc()
             if self._wants():
                 self._emit("corrupt", {
                     "link": link.name,
@@ -256,7 +274,8 @@ class FaultPlan:
             if not spec.active:
                 continue
             injector = LinkFaultInjector(
-                env, spec, _FaultRng(self.seed, link.name), self.tracer
+                env, spec, _FaultRng(self.seed, link.name), self.tracer,
+                link_name=link.name,
             )
             link.faults = injector
             self.injectors[link.name] = injector

@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from .. import obs
 from ..cluster.node import Node
 from ..errors import GMError, GMSendQueueFull
 from ..hw.nic import NicPort, PostedReceive, SendDescriptor
@@ -74,6 +75,15 @@ class GmPort:
         self.nic_port: NicPort = node.nic.open_port(port_id, costs)
         self.domain = RegistrationDomain(node.cpu, node.nic.transtable, self.context)
         self.events: Store = Store(node.env, f"gm{port_id}.events")
+        # API-level accounting on the metrics registry (unregistered
+        # per-instance counters while no registry is installed).
+        self._m_sends = obs.counter("gm.sends", node=node.node_id, port=port_id)
+        self._m_recv_posts = obs.counter(
+            "gm.recv_posts", node=node.node_id, port=port_id
+        )
+        self._m_events = obs.counter(
+            "gm.events", node=node.node_id, port=port_id
+        )
         self._pending_sends = 0
         self.nic_port.completion_sink = self._on_recv_completion
         self._open = True
@@ -113,6 +123,7 @@ class GmPort:
         yield from self.cpu.work(self.costs.host_send_ns)
         yield from self.cpu.work(self.node.nic.doorbell_time_ns())
         self._pending_sends += 1
+        self._m_sends.inc()
         desc = SendDescriptor(
             dst_nic=dst_node,
             dst_port=dst_port,
@@ -157,6 +168,7 @@ class GmPort:
             )
         sg = self._sg_through_table(region, vaddr, length)
         yield from self.cpu.work(self.costs.host_recv_post_ns)
+        self._m_recv_posts.inc()
         self.nic_port.post_receive(
             PostedReceive(
                 match=match,
@@ -182,6 +194,7 @@ class GmPort:
             raise GMError(f"RMA window {vaddr:#x}+{length} is not registered")
         sg = self._sg_through_table(region, vaddr, length)
         yield from self.cpu.work(self.costs.host_recv_post_ns)
+        self._m_recv_posts.inc()
         self.nic_port.post_receive(
             PostedReceive(
                 match=window_id,
@@ -217,6 +230,7 @@ class GmPort:
         yield from self.cpu.work(self.costs.host_send_ns)
         yield from self.cpu.work(self.node.nic.doorbell_time_ns())
         self._pending_sends += 1
+        self._m_sends.inc()
         desc = SendDescriptor(
             dst_nic=dst_node,
             dst_port=dst_port,
@@ -262,6 +276,7 @@ class GmPort:
         yield from self.cpu.work(self.costs.host_event_ns)
         if blocking:
             yield from self.cpu.work(self.costs.blocking_wakeup_ns)
+        self._m_events.inc()
         return event
 
     def _on_recv_completion(self, completion) -> None:
@@ -304,6 +319,7 @@ class GmPort:
         yield from self.cpu.work(self.costs.host_send_ns)
         yield from self.cpu.work(self.node.nic.doorbell_time_ns())
         self._pending_sends += 1
+        self._m_sends.inc()
         desc = SendDescriptor(
             dst_nic=dst_node,
             dst_port=dst_port,
@@ -330,6 +346,7 @@ class GmPort:
             raise GMError(f"no registration covers key {key_vaddr:#x}+{length}")
         sg = self._sg_through_table(region, key_vaddr, length)
         yield from self.cpu.work(self.costs.host_recv_post_ns)
+        self._m_recv_posts.inc()
         self.nic_port.post_receive(
             PostedReceive(
                 match=match,

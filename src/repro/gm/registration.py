@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..errors import GMRegistrationError
 from ..hw.cpu import Cpu
 from ..mem.addrspace import AddressSpace
@@ -62,6 +63,12 @@ class RegistrationDomain:
         self.registered_pages = 0
         self.register_calls = 0
         self.deregister_calls = 0
+        # Registry mirrors of the counts above (the plain ints stay the
+        # public per-domain API; with a registry installed the metrics
+        # aggregate over every domain of one host CPU).
+        self._m_reg = obs.counter("gm.registrations", cpu=cpu.name)
+        self._m_dereg = obs.counter("gm.deregistrations", cpu=cpu.name)
+        self._m_pages = obs.gauge("gm.registered_pages", cpu=cpu.name)
 
     # -- cost helpers -----------------------------------------------------------
 
@@ -105,6 +112,8 @@ class RegistrationDomain:
         self._regions.append(region)
         self.registered_pages += npages
         self.register_calls += 1
+        self._m_reg.inc()
+        self._m_pages.inc(npages)
         return region
 
     def register_kernel(self, kspace: KernelSpace, vaddr: int, length: int):
@@ -125,6 +134,8 @@ class RegistrationDomain:
         self._regions.append(region)
         self.registered_pages += npages
         self.register_calls += 1
+        self._m_reg.inc()
+        self._m_pages.inc(npages)
         return region
 
     def deregister(self, region: GmRegion, unpin: bool = True):
@@ -154,6 +165,8 @@ class RegistrationDomain:
         self._regions.remove(region)
         self.registered_pages -= region.npages
         self.deregister_calls += 1
+        self._m_dereg.inc()
+        self._m_pages.dec(region.npages)
 
     # -- queries --------------------------------------------------------------------
 

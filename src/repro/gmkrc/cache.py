@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..errors import GMError
 from ..gm.api import GmPort
 from ..kernel.vmaspy import VmaSpy
@@ -93,10 +94,30 @@ class Gmkrc:
         self.cpu = port.cpu
         self._entries: list[CacheEntry] = []
         self._watched: dict[int, object] = {}  # asid -> vmaspy watch handle
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-        self.lazy_deregistrations = 0
+        # Cache accounting on the metrics registry (unregistered
+        # per-instance counters while no registry is installed); the
+        # classic attribute names below read through to them.
+        _labels = dict(node=port.node.node_id, port=port.port_id)
+        self._m_hits = obs.counter("gmkrc.hits", **_labels)
+        self._m_misses = obs.counter("gmkrc.misses", **_labels)
+        self._m_inval = obs.counter("gmkrc.invalidations", **_labels)
+        self._m_lazy = obs.counter("gmkrc.lazy_deregistrations", **_labels)
+
+    @property
+    def hits(self) -> int:
+        return self._m_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._m_misses.value
+
+    @property
+    def invalidations(self) -> int:
+        return self._m_inval.value
+
+    @property
+    def lazy_deregistrations(self) -> int:
+        return self._m_lazy.value
 
     # -- the public API (paper: "in-kernel users still pass normal 32 bits
     # pointers to the GMKRC API") -------------------------------------------------
@@ -114,14 +135,14 @@ class Gmkrc:
         entry = self._find(space, vaddr, length)
         if entry is not None:
             if self.enabled:
-                self.hits += 1
+                self._m_hits.inc()
             else:
                 # Cache disabled: the range gets registered again on
                 # every access.  The translations and pins are already in
                 # place, so only the registration *cost* recurs — this is
                 # the "without any cache hit" regime behind the 20 %
                 # slowdown of figure 3(b).
-                self.misses += 1
+                self._m_misses.inc()
                 base = vaddr & ~PAGE_MASK
                 npages = (page_align_up(vaddr + length) - base) >> 12
                 yield from self.cpu.pin_pages(npages)
@@ -131,7 +152,7 @@ class Gmkrc:
             entry.refcount += 1
             entry.last_use = self.env.now
             return encode_key(space.asid, vaddr), entry
-        self.misses += 1
+        self._m_misses.inc()
         entry = yield from self._install(space, vaddr, length)
         entry.refcount += 1
         return encode_key(space.asid, vaddr), entry
@@ -187,7 +208,7 @@ class Gmkrc:
             yield from self.port.domain.deregister(victim.region)
             victim.valid = False
             self._entries.remove(victim)
-            self.lazy_deregistrations += 1
+            self._m_lazy.inc()
 
     # -- VMA SPY coherence -----------------------------------------------------------
 
@@ -218,7 +239,7 @@ class Gmkrc:
             self.port.domain.remove_silently(entry.region)
             entry.valid = False
             self._entries.remove(entry)
-            self.invalidations += 1
+            self._m_inval.inc()
         if change.kind is ChangeKind.EXIT:
             handle = self._watched.pop(space.asid, None)
             if handle is not None:

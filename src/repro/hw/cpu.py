@@ -22,6 +22,7 @@ class Cpu:
                  name: str = "cpu"):
         self.env = env
         self.params = params
+        self.name = name
         self.resource = Resource(env, capacity=capacity, name=name)
         self.copied_bytes = 0
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from .. import obs
 from ..errors import NetworkError
 from ..sim import Environment, Resource
 from ..units import transfer_time_ns
@@ -42,11 +43,29 @@ class Link:
             "ba": Resource(env, 1, f"{name}.ba"),
         }
         self._ends: dict[str, Optional[Callable[[Any], None]]] = {"a": None, "b": None}
-        self.bytes_carried = 0
+        # Per-direction wire accounting on the metrics registry
+        # (unregistered per-instance counters when none is installed).
+        # busy_ns accumulates serialization time, so a deterministic
+        # utilization is derivable from any snapshot without wall-clock.
+        self._m_bytes = {
+            d: obs.counter("link.bytes", link=name, dir=d) for d in ("ab", "ba")
+        }
+        self._m_busy = {
+            d: obs.counter("link.busy_ns", link=name, dir=d) for d in ("ab", "ba")
+        }
+        self._m_dropped = obs.counter("link.drops", link=name)
         #: Optional fault injector (repro.faults.LinkFaultInjector).
         self.faults = None
-        #: Items the injector removed from the wire (never delivered).
-        self.messages_dropped = 0
+
+    @property
+    def bytes_carried(self) -> int:
+        """Bytes the wire carried in either direction (delivered or not)."""
+        return self._m_bytes["ab"].value + self._m_bytes["ba"].value
+
+    @property
+    def messages_dropped(self) -> int:
+        """Items the injector removed from the wire (never delivered)."""
+        return self._m_dropped.value
 
     @property
     def is_down(self) -> bool:
@@ -79,13 +98,16 @@ class Link:
         deliver = self._ends[to_end]
         if deliver is None:
             raise NetworkError(f"link end {to_end!r} has no endpoint attached")
-        direction = self._dirs["ab" if from_end == "a" else "ba"]
-        yield from direction.acquire(self.serialization_ns(nbytes))
-        self.bytes_carried += nbytes
+        dir_key = "ab" if from_end == "a" else "ba"
+        direction = self._dirs[dir_key]
+        serialization = self.serialization_ns(nbytes)
+        yield from direction.acquire(serialization)
+        self._m_bytes[dir_key].inc(nbytes)
+        self._m_busy[dir_key].inc(serialization)
         if self.faults is not None:
             item = self.faults.filter(self, item, nbytes)
             if item is None:
-                self.messages_dropped += 1
+                self._m_dropped.inc()
                 return
 
         def _arrive(env):

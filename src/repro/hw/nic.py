@@ -37,6 +37,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from .. import obs
 from ..errors import LinkDown, MessageDropped, NicError, NodeCrashed, PortError
 from ..mem.layout import PhysSegment
 from ..mem.phys import PhysicalMemory
@@ -341,6 +342,8 @@ class _ReliableDelivery:
                         f"({len(st.unacked)} messages abandoned)"
                     )
                     self.dead_peers[peer] = exc
+                    obs.counter("nic.tx.giveups",
+                                node=self.nic.node_id, peer=peer).inc()
                     self._emit("nic", "giveup", {
                         "peer": peer, "abandoned": len(st.unacked),
                     })
@@ -361,6 +364,8 @@ class _ReliableDelivery:
                         continue  # acked while we were retransmitting
                     msg, nbytes = entry
                     self.nic.retransmissions += 1
+                    obs.counter("nic.tx.retransmits",
+                                node=self.nic.node_id, peer=peer).inc()
                     yield from self.nic.fw.acquire(self.params.retransmit_fw_ns)
                     msg.ack = self._rx_last.get(msg.dst_nic, 0)
                     msg.ack_epoch = self._rx_epoch.get(msg.dst_nic, 0)
@@ -378,7 +383,7 @@ class _ReliableDelivery:
         if msg.corrupted:
             # Firmware CRC check fails; drop without acking so the
             # sender's retransmission recovers the payload.
-            self.nic.crc_drops += 1
+            self.nic._m_crc.inc()
             if self._wants("fault"):
                 self._emit("fault", "corrupt_drop", {
                     "src": msg.src_nic, "seq": msg.seq, "kind": msg.kind.value,
@@ -394,7 +399,7 @@ class _ReliableDelivery:
         known_epoch = self._rx_epoch.get(peer, 0)
         if msg.epoch < known_epoch:
             # In-flight leftover from before the peer's reset.
-            self.nic.duplicates_dropped += 1
+            self.nic._m_dup.inc()
             if self._wants("nic"):
                 self._emit("nic", "stale_epoch", {"peer": peer, "seq": msg.seq})
             return None
@@ -414,7 +419,7 @@ class _ReliableDelivery:
             self._schedule_ack(peer)
             return msg
         if msg.seq <= last:
-            self.nic.duplicates_dropped += 1
+            self.nic._m_dup.inc()
             if self._wants("nic"):
                 self._emit("nic", "duplicate", {"peer": peer, "seq": msg.seq})
             self._schedule_ack(peer)  # re-ack so the sender stops resending
@@ -451,7 +456,7 @@ class _ReliableDelivery:
             match=0,
             size=0,
         )
-        self.nic.acks_sent += 1
+        self.nic._m_acks.inc()
         yield from self.nic.fw.acquire(self.params.ack_fw_ns)
         yield from self.nic._wire_out(ack, self.nic.params.ctrl_message_bytes)
 
@@ -483,18 +488,45 @@ class Nic:
         self._link_end: str = "a"
         self._pending_rndv: dict[int, _PendingRendezvous] = {}
         self._stalled_rndv: dict[int, SendDescriptor] = {}
-        self.messages_sent = 0
-        self.messages_received = 0
+        # Per-NIC accounting on the metrics registry (unregistered
+        # per-instance counters while no registry is installed); the
+        # classic attribute names below read through to them.
+        self._m_tx = obs.counter("nic.tx.messages", node=node_id)
+        self._m_tx_bytes = obs.counter("nic.tx.bytes", node=node_id)
+        self._m_rx = obs.counter("nic.rx.messages", node=node_id)
+        self._m_rx_bytes = obs.counter("nic.rx.bytes", node=node_id)
+        self._m_dup = obs.counter("nic.rx.duplicates", node=node_id)
+        self._m_crc = obs.counter("nic.rx.crc_drops", node=node_id)
+        self._m_acks = obs.counter("nic.tx.acks", node=node_id)
         # Reliable-delivery sublayer: None until a fault plan (or a test)
         # calls enable_reliability(); every hot-path hook is an `is None`
         # check so the perfect-fabric simulation is unchanged.
         self._rel: Optional[_ReliableDelivery] = None
         self.crashed = False
+        #: Total retransmitted messages; per-peer detail lives on the
+        #: registry as ``nic.tx.retransmits{node=...,peer=...}``.
         self.retransmissions = 0
-        self.duplicates_dropped = 0
-        self.crc_drops = 0
-        self.acks_sent = 0
         env.process(self._rx_loop(), name=f"{self.name}.rxloop")
+
+    @property
+    def messages_sent(self) -> int:
+        return self._m_tx.value
+
+    @property
+    def messages_received(self) -> int:
+        return self._m_rx.value
+
+    @property
+    def duplicates_dropped(self) -> int:
+        return self._m_dup.value
+
+    @property
+    def crc_drops(self) -> int:
+        return self._m_crc.value
+
+    @property
+    def acks_sent(self) -> int:
+        return self._m_acks.value
 
     # -- wiring ------------------------------------------------------------
 
@@ -621,6 +653,11 @@ class Nic:
         # DMA from host memory: hold the PCI bus while feeding the wire
         # (cut-through: the wire starts after a small lag, and since PCI
         # outpaces the link, the wire is the pacing resource).
+        tx_span = obs.span_begin(
+            self.env, "nic", f"tx.{kind.value}",
+            pid=self.node_id, tid=desc.src_port,
+            size=desc.size, dst=desc.dst_nic,
+        )
         pci_req = self.pci.request()
         yield pci_req
         try:
@@ -675,7 +712,9 @@ class Nic:
             yield from self._link.transmit(self._link_end, msg, remaining)
         finally:
             pci_req.release()
-        self.messages_sent += 1
+        self._m_tx.inc()
+        self._m_tx_bytes.inc(desc.size)
+        obs.span_end(self.env, tx_span)
         assert desc.completion is not None
         desc.completion.succeed(
             SendCompletion(tag=desc.tag, size=desc.size, finished_at=self.env.now)
@@ -833,7 +872,13 @@ class Nic:
             truncated=truncated,
             meta=msg.meta,
         )
-        self.messages_received += 1
+        self._m_rx.inc()
+        self._m_rx_bytes.inc(nbytes)
+        obs.instant(
+            self.env, "nic", f"rx.{msg.kind.value}",
+            pid=self.node_id, tid=msg.dst_port,
+            size=nbytes, src=msg.src_nic,
+        )
         if recv.completion is not None and not recv.persistent:
             recv.completion.succeed(completion)
         if port.completion_sink is not None and not recv.persistent:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from .. import obs
 from ..errors import NetworkError
 from ..sim import Environment
 from .link import Link
@@ -29,8 +30,16 @@ class Switch:
         self._links: dict[int, Link] = {}  # node id -> link to that node
         #: Optional fault tracer (set by repro.faults.FaultPlan.install).
         self.tracer = None
-        #: Messages discarded because the output port's link was down.
-        self.messages_dropped = 0
+        # Crossbar accounting on the metrics registry (unregistered
+        # per-instance counters while no registry is installed).
+        self._m_forwards = obs.counter("switch.forwards", switch=name)
+        self._m_bytes = obs.counter("switch.bytes", switch=name)
+        self._m_dropped = obs.counter("switch.drops", switch=name)
+
+    @property
+    def messages_dropped(self) -> int:
+        """Messages discarded because the output port's link was down."""
+        return self._m_dropped.value
 
     def add_node(self, node_id: int) -> tuple[Link, str]:
         """Create the link for ``node_id``.
@@ -62,11 +71,13 @@ class Switch:
         if out.is_down:
             # Output port has no carrier: the crossbar discards the
             # message (reliable delivery at the NICs recovers it).
-            self.messages_dropped += 1
+            self._m_dropped.inc()
             if self.tracer is not None:
                 self.tracer.emit(self.env.now, "fault", "switch_drop", {
                     "switch": self.name, "dst": dst,
                 })
             return
         nbytes = getattr(msg, "wire_size", 0) or max(1, getattr(msg, "size", 1))
+        self._m_forwards.inc()
+        self._m_bytes.inc(nbytes)
         yield from out.transmit("a", msg, nbytes)

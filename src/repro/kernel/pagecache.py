@@ -20,6 +20,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..errors import KernelError
 from ..mem.phys import Frame, PhysicalMemory
 from ..mem.sglist import PayloadRef, seal, write_chunks
@@ -49,6 +50,8 @@ class CachedPage:
 
     def fill(self, offset: int, payload: PayloadRef) -> None:
         """Scatter a :class:`PayloadRef` into this page at ``offset``."""
+        if obs.metrics_enabled():
+            obs.counter("pagecache.fills").inc()
         pos = offset
         for chunk in write_chunks(payload):
             self.frame.write(pos, chunk)
@@ -58,16 +61,33 @@ class CachedPage:
 class PageCache:
     """Global page cache over all inodes of one node's kernel."""
 
-    def __init__(self, phys: PhysicalMemory, max_pages: int = 65536):
+    def __init__(self, phys: PhysicalMemory, max_pages: int = 65536,
+                 name: str = "pagecache"):
         if max_pages < 1:
             raise ValueError(f"max_pages must be >= 1, got {max_pages}")
         self.phys = phys
         self.max_pages = max_pages
+        self.name = name
         # (inode_id, index) -> CachedPage, in LRU order (oldest first)
         self._pages: OrderedDict[tuple[int, int], CachedPage] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        # Cache accounting on the metrics registry (unregistered
+        # per-instance counters while no registry is installed); the
+        # classic attribute names below read through to them.
+        self._m_hits = obs.counter("pagecache.hits", cache=name)
+        self._m_misses = obs.counter("pagecache.misses", cache=name)
+        self._m_evictions = obs.counter("pagecache.evictions", cache=name)
+
+    @property
+    def hits(self) -> int:
+        return self._m_hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._m_misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._m_evictions.value
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -77,9 +97,9 @@ class PageCache:
         key = (inode_id, index)
         page = self._pages.get(key)
         if page is None:
-            self.misses += 1
+            self._m_misses.inc()
             return None
-        self.hits += 1
+        self._m_hits.inc()
         self._pages.move_to_end(key)
         return page
 
@@ -132,7 +152,7 @@ class PageCache:
             if not page.dirty:
                 del self._pages[key]
                 self._release(page)
-                self.evictions += 1
+                self._m_evictions.inc()
                 return
         raise KernelError(
             "page cache full of dirty pages — writeback must run first"

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from .. import obs
 from ..errors import KernelError
 from ..mem.addrspace import AddressSpace, AddressSpaceChange, ChangeKind
 
@@ -42,10 +43,17 @@ class _Watch:
 class VmaSpy:
     """The per-kernel VMA SPY registry."""
 
-    def __init__(self):
+    def __init__(self, name: str = "vmaspy"):
+        self.name = name
         self._watches: list[_Watch] = []
         self._hooked: dict[int, tuple[AddressSpace, Callable]] = {}
-        self.notifications_delivered = 0
+        # Delivery accounting on the metrics registry (an unregistered
+        # per-instance counter while no registry is installed).
+        self._m_delivered = obs.counter("vmaspy.notifications", spy=name)
+
+    @property
+    def notifications_delivered(self) -> int:
+        return self._m_delivered.value
 
     def watch(
         self,
@@ -96,7 +104,7 @@ class VmaSpy:
                     continue
                 if watch.kinds is not None and change.kind not in watch.kinds:
                     continue
-                self.notifications_delivered += 1
+                self._m_delivered.inc()
                 watch.callback(change)
 
         return hook

@@ -23,6 +23,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
+from .. import obs
 from ..cluster.node import Node
 from ..cluster import star, node_pair
 from ..errors import ReproError
@@ -249,8 +250,26 @@ class Communicator:
     def _coll_tag(self) -> int:
         return _COLLECTIVE_TAG_BASE + (next(self._coll_seq) % MAX_USER_TAG)
 
+    def _observed(self, op: str, gen):
+        """Generator wrapper: per-collective latency histogram and
+        timeline span around one collective call.  Purely observational
+        (no simulated-time cost); zero-cost with no registry/timeline
+        installed beyond one enabled-check per collective."""
+        t0 = self.env.now
+        span = obs.span_begin(self.env, "mpi", op,
+                              pid=self.node.node_id, tid=self.rank)
+        result = yield from gen
+        obs.span_end(self.env, span)
+        if obs.metrics_enabled():
+            obs.histogram("mpi.collective.latency_ns",
+                          op=op, api=self.api).observe(self.env.now - t0)
+        return result
+
     def barrier(self):
         """Generator: dissemination barrier (ceil(log2 n) rounds)."""
+        return (yield from self._observed("barrier", self._barrier()))
+
+    def _barrier(self):
         tag = self._coll_tag()
         n = self.size
         if n == 1:
@@ -265,6 +284,10 @@ class Communicator:
 
     def bcast(self, root: int, vaddr: int, length: int):
         """Generator: binomial-tree broadcast of [vaddr, vaddr+length)."""
+        return (yield from self._observed(
+            "bcast", self._bcast(root, vaddr, length)))
+
+    def _bcast(self, root: int, vaddr: int, length: int):
         tag = self._coll_tag()
         n = self.size
         if n == 1:
@@ -291,6 +314,10 @@ class Communicator:
 
         Returns the rank-ordered list at the root, None elsewhere.
         """
+        return (yield from self._observed(
+            "gather", self._gather_bytes(root, data)))
+
+    def _gather_bytes(self, root: int, data: bytes):
         tag = self._coll_tag()
         length = len(data)
         if length > 32 * 1024:
@@ -332,6 +359,10 @@ class Communicator:
         """
         if op not in self._OPS:
             raise MpiError(f"unknown op {op!r}; choose from {sorted(self._OPS)}")
+        return (yield from self._observed(
+            "reduce", self._reduce_ints(root, values, op)))
+
+    def _reduce_ints(self, root: int, values: Sequence[int], op: str):
         tag = self._coll_tag()
         fn = self._OPS[op]
         n = self.size
@@ -358,7 +389,16 @@ class Communicator:
         return acc if self.rank == root else None
 
     def allreduce_ints(self, values: Sequence[int], op: str = "sum"):
-        """Generator: reduce to rank 0, then broadcast the result."""
+        """Generator: reduce to rank 0, then broadcast the result.
+
+        Observed as one ``allreduce`` on top of its constituent reduce
+        and bcast observations (nested collectives each count)."""
+        if op not in self._OPS:
+            raise MpiError(f"unknown op {op!r}; choose from {sorted(self._OPS)}")
+        return (yield from self._observed(
+            "allreduce", self._allreduce_ints(values, op)))
+
+    def _allreduce_ints(self, values: Sequence[int], op: str):
         reduced = yield from self.reduce_ints(0, values, op)
         length = 8 * len(values)
         if self.rank == 0:

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
+from .. import obs
 from ..cluster.node import Node
 from ..errors import MXBadSegment, MXError
 from ..hw.nic import NicPort, PostedReceive, SendDescriptor
@@ -94,10 +95,32 @@ class MxEndpoint:
         self.cpu = node.cpu
         self.nic_port: NicPort = node.nic.open_port(endpoint_id, self.costs)
         self._open = True
-        self.sends_small = 0
-        self.sends_medium = 0
-        self.sends_medium_zero_copy = 0
-        self.sends_large = 0
+        # Per-class send accounting on the metrics registry (unregistered
+        # per-instance counters while no registry is installed); the
+        # classic attribute names below read through to them.
+        _labels = dict(node=node.node_id, ep=endpoint_id)
+        self._m_small = obs.counter("mx.sends", cls="small", **_labels)
+        self._m_medium = obs.counter("mx.sends", cls="medium", **_labels)
+        self._m_medium_zc = obs.counter(
+            "mx.sends", cls="medium_zero_copy", **_labels
+        )
+        self._m_large = obs.counter("mx.sends", cls="large", **_labels)
+
+    @property
+    def sends_small(self) -> int:
+        return self._m_small.value
+
+    @property
+    def sends_medium(self) -> int:
+        return self._m_medium.value
+
+    @property
+    def sends_medium_zero_copy(self) -> int:
+        return self._m_medium_zc.value
+
+    @property
+    def sends_large(self) -> int:
+        return self._m_large.value
 
     # -- segment validation / resolution --------------------------------------
 
@@ -188,7 +211,7 @@ class MxEndpoint:
         return req
 
     def _send_small(self, dst_node, dst_endpoint, segments, match, req, meta=None):
-        self.sends_small += 1
+        self._m_small.inc()
         data = self._gather_payload(segments)
         # Payload is PIO-written with the descriptor.
         yield from self.cpu.work(
@@ -206,11 +229,11 @@ class MxEndpoint:
     def _send_medium(self, dst_node, dst_endpoint, segments, match, req, meta=None):
         zero_copy = self.no_send_copy and self._zero_copy_eligible(segments)
         if zero_copy:
-            self.sends_medium_zero_copy += 1
+            self._m_medium_zc.inc()
             sg = self._resolve_sg(segments)
             data, src_sg = None, sg
         else:
-            self.sends_medium += 1
+            self._m_medium.inc()
             # Copy into the pre-registered bounce ring ("The standard MX
             # implementation uses a copy on both sides when processing
             # medium side messages", section 5.1).
@@ -231,7 +254,7 @@ class MxEndpoint:
             req.event.succeed(req)
 
     def _send_large(self, dst_node, dst_endpoint, segments, match, req, meta=None):
-        self.sends_large += 1
+        self._m_large.inc()
         pinned: list = []
         npages = user_pages(segments)
         if npages:

@@ -17,6 +17,7 @@ import itertools
 
 from typing import Optional
 
+from .. import obs
 from ..cluster.node import Node
 from ..core.channel import KernelChannel
 from ..errors import Eio, Einval, NetworkError, TimeoutError_
@@ -78,9 +79,24 @@ class NbdDevice:
         self._cache_key = -device_inode  # block-cache namespace
         self._reply_buf = node.kspace.kmalloc(4096)
         self._req_buf = node.kspace.kmalloc(4096)
-        self.blocks_read = 0
-        self.blocks_written = 0
-        self.request_retries = 0
+        # Block-traffic accounting on the metrics registry (unregistered
+        # per-instance counters while no registry is installed); the
+        # classic attribute names below read through to them.
+        self._m_read = obs.counter("nbd.blocks_read", node=node.node_id)
+        self._m_written = obs.counter("nbd.blocks_written", node=node.node_id)
+        self._m_retries = obs.counter("nbd.request_retries", node=node.node_id)
+
+    @property
+    def blocks_read(self) -> int:
+        return self._m_read.value
+
+    @property
+    def blocks_written(self) -> int:
+        return self._m_written.value
+
+    @property
+    def request_retries(self) -> int:
+        return self._m_retries.value
 
     # -- raw block transfer (what the block layer submits) --------------------
 
@@ -102,7 +118,7 @@ class NbdDevice:
                 MxSegment.kernel(self._req_buf.vaddr, req.wire_size())
             ],
         )
-        self.blocks_read += 1
+        self._m_read.inc()
 
     def write_block(self, block: int, frame, length: int = BLOCK_SIZE):
         """Generator: write one device block straight from ``frame``."""
@@ -117,7 +133,7 @@ class NbdDevice:
                 MxSegment.physical(sg_from_frames([frame], 0, length))
             ],
         )
-        self.blocks_written += 1
+        self._m_written.inc()
 
     def _block_rpc(self, op, block: int, length: int, recv_segs, send_segs):
         """Generator: one block request under the device's retry budget.
@@ -130,6 +146,11 @@ class NbdDevice:
         I/O that hangs forever.
         """
         attempts = 1 if self.timeout_ns is None else 1 + self.max_retries
+        env = self.node.env
+        t0 = env.now
+        op_name = op.name.lower()
+        span = obs.span_begin(env, "nbd", f"block.{op_name}",
+                              pid=self.node.node_id, block=block)
         for attempt in range(attempts):
             req = OrfaRequest(op=op, request_id=next(NbdDevice._request_ids),
                               inode=self.device_inode,
@@ -149,7 +170,7 @@ class NbdDevice:
                     recv, timeout_ns=self.timeout_ns
                 )
             except TimeoutError_:
-                self.request_retries += 1
+                self._m_retries.inc()
                 if self.tracer is not None:
                     self.tracer.emit(self.node.env.now, "rpc", "timeout", {
                         "dev": "nbd", "block": block, "attempt": attempt + 1,
@@ -157,7 +178,12 @@ class NbdDevice:
                 continue
             if not send.event.processed:
                 yield from self.channel.wait_send(send)
+            obs.span_end(env, span, outcome="ok")
+            if obs.metrics_enabled():
+                obs.histogram("nbd.request.latency_ns",
+                              op=op_name).observe(env.now - t0)
             return
+        obs.span_end(env, span, outcome="timeout")
         raise Eio(
             f"nbd block {block}: no reply after {attempts} attempts "
             f"of {self.timeout_ns} ns each"

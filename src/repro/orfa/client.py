@@ -22,6 +22,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..cluster.node import Node
 from ..errors import Ebadf, Eio, FsError, NetworkError, ProtocolError
 from ..gm.api import GmEventKind, GmPort
@@ -278,23 +279,49 @@ class OrfaClient:
         (documented at-least-once hazard).
         """
         attempts = 1 if self.timeout_ns is None else 1 + self.max_retries
+        env = self.node.env
+        t0 = env.now
         for attempt in range(attempts):
             req = make_req(next(OrfaClient._request_ids))
+            op = req.op.name.lower()
+            span = obs.span_begin(
+                env, "orfa", f"rpc.{op}", pid=self.node.node_id,
+                tid=attempt, request_id=req.request_id,
+            )
             try:
                 reply = yield from side_call(self.server, req, *extra,
                                              timeout_ns=self.timeout_ns)
             except NetworkError as exc:
-                raise Eio(f"orfa {req.op.name.lower()}: {exc}") from exc
+                obs.span_end(env, span, outcome="error")
+                if obs.metrics_enabled():
+                    obs.counter("orfa.request.failures",
+                                node=self.node.node_id, op=op).inc()
+                raise Eio(f"orfa {op}: {exc}") from exc
             if reply is not None:
+                obs.span_end(env, span, outcome="ok")
+                if obs.metrics_enabled():
+                    obs.counter("orfa.requests",
+                                node=self.node.node_id, op=op).inc()
+                    # Total RPC latency including timed-out attempts, so
+                    # the histogram reflects what the caller waited.
+                    obs.histogram("orfa.request.latency_ns",
+                                  op=op).observe(env.now - t0)
                 return reply
+            obs.span_end(env, span, outcome="timeout")
+            if obs.metrics_enabled():
+                obs.counter("orfa.request.timeouts",
+                            node=self.node.node_id, op=op).inc()
             if self.tracer is not None:
                 self.tracer.emit(self.node.env.now, "rpc", "timeout", {
-                    "op": req.op.name.lower(),
+                    "op": op,
                     "attempt": attempt + 1,
                     "request_id": req.request_id,
                 })
+        if obs.metrics_enabled():
+            obs.counter("orfa.request.failures",
+                        node=self.node.node_id, op=op).inc()
         raise Eio(
-            f"orfa {req.op.name.lower()}: no reply after {attempts} attempts "
+            f"orfa {op}: no reply after {attempts} attempts "
             f"of {self.timeout_ns} ns each"
         )
 

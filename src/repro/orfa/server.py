@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..cluster.node import Node
 from ..errors import FsError, ProtocolError
 from ..gm.api import GmEventKind, GmPort
@@ -247,7 +248,15 @@ class OrfaServer:
             self.transport = _GmServerTransport(node, port_id)
         else:
             self.transport = _MxServerTransport(node, port_id)
-        self.requests_served = 0
+        # Served-request accounting on the metrics registry (an
+        # unregistered per-instance counter while none is installed).
+        self._m_served = obs.counter(
+            "orfa.server.requests", node=node.node_id, api=api
+        )
+
+    @property
+    def requests_served(self) -> int:
+        return self._m_served.value
 
     def start(self):
         """Start the server; the returned event fires once the receive
@@ -308,5 +317,7 @@ class OrfaServer:
                 raise
             reply.status = "EIO"
             data = b""
-        self.requests_served += 1
+        self._m_served.inc()
+        if obs.metrics_enabled():
+            obs.counter("orfa.server.ops", op=req.op.name.lower()).inc()
         yield from self.transport.send_reply(incoming, reply, data)

@@ -11,8 +11,14 @@ used by the bench harness to derive throughput and latency statistics.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, MutableSequence, Optional
+
+#: Recommended ``record_everything(limit=...)`` for long bench runs: a
+#: bounded buffer this size holds the newest ~64k records (a few tens of
+#: MB at worst) instead of growing without bound for the whole run.
+DEFAULT_RECORD_LIMIT = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -30,16 +36,37 @@ class Tracer:
 
     def __init__(self):
         self._subs: dict[str, list[Callable[[TraceRecord], None]]] = {}
-        self._record_all: Optional[list[TraceRecord]] = None
+        self._record_all: Optional[MutableSequence[TraceRecord]] = None
 
     def subscribe(self, category: str, fn: Callable[[TraceRecord], None]) -> None:
         """Invoke ``fn`` for every record emitted in ``category``."""
         self._subs.setdefault(category, []).append(fn)
 
-    def record_everything(self) -> list[TraceRecord]:
-        """Keep every record in a list (tests); returns the live list."""
+    def record_everything(self, limit: Optional[int] = None
+                          ) -> MutableSequence[TraceRecord]:
+        """Keep every record in a buffer; returns the live buffer.
+
+        With ``limit=None`` (the default) the buffer is an unbounded
+        list — fine for tests, unbounded growth on long runs.  With
+        ``limit=N`` it is a ``deque(maxlen=N)``: once full, each new
+        record evicts the oldest (O(1)).  Long bench runs should pass
+        :data:`DEFAULT_RECORD_LIMIT`.
+
+        Calling again with a different ``limit`` converts the existing
+        buffer in place-of (keeping the newest records that fit) and
+        returns the *new* buffer — previously returned references stop
+        receiving records, so re-read the return value.
+        """
+        if limit is not None and limit < 1:
+            raise ValueError(f"record limit must be >= 1, got {limit}")
         if self._record_all is None:
-            self._record_all = []
+            self._record_all = [] if limit is None else deque(maxlen=limit)
+        elif limit is None:
+            if isinstance(self._record_all, deque):
+                self._record_all = list(self._record_all)
+        elif not isinstance(self._record_all, deque) \
+                or self._record_all.maxlen != limit:
+            self._record_all = deque(self._record_all, maxlen=limit)
         return self._record_all
 
     def wants(self, category: str) -> bool:
@@ -74,8 +101,8 @@ def render_record(rec: TraceRecord) -> str:
     return f"{rec.time:>12d} {rec.category}.{rec.label} {_fmt_payload(rec.payload)}"
 
 
-def render_trace(records: list[TraceRecord]) -> str:
-    """Serialize a record list to one line per record (trailing newline)."""
+def render_trace(records: Iterable[TraceRecord]) -> str:
+    """Serialize records to one line per record (trailing newline)."""
     return "".join(render_record(r) + "\n" for r in records)
 
 
