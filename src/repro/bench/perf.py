@@ -253,6 +253,83 @@ def bench_data_path(quick: bool = False) -> dict:
     return report
 
 
+def bench_packet_train(quick: bool = False) -> dict:
+    """Event-count A/B of the packet-train analytic wire fast path.
+
+    Runs the same large-transfer ping-pong with coalescing forced off
+    (``per_packet``) and on (``train``).  The event counts come from
+    ``Environment.events_processed`` and are fully deterministic, so CI
+    gates on them directly: the reduction factor proves the fast path
+    engages, the events-per-MB budget catches per-packet work creeping
+    back into the data path.  Simulated time must be identical in both
+    modes — the trains are an optimization, not a model change.
+    """
+    from ..cluster.node import node_pair
+    from ..hw import train
+    from .netpipe import ping_pong, prepare_pair
+    from .transports import GmKernelTransport
+
+    sizes = [256 * KiB] if quick else [256 * KiB, MiB]
+    rounds = 2 if quick else 5
+    reps = 1 if quick else 3
+    modes = ("per_packet", "train")
+    entries: list[dict] = []
+    try:
+        for size in sizes:
+            payload_mb = 2 * size * rounds / MiB  # both directions
+            events = {}
+            wall = {m: None for m in modes}
+            cpu_s = {m: None for m in modes}
+            result = {}
+            for _ in range(reps):
+                for mode in modes:
+                    train.set_coalescing(mode == "train")
+                    env = Environment()
+                    a, b = node_pair(env)
+                    ta = GmKernelTransport(a, 2, 1, 2, addressing="physical")
+                    tb = GmKernelTransport(b, 2, 0, 2, addressing="physical")
+                    prepare_pair(env, ta, tb, size)
+                    base = env.events_processed
+                    w0 = time.perf_counter()
+                    c0 = time.process_time()
+                    result[mode] = ping_pong(env, ta, tb, size,
+                                             rounds=rounds, warmup=0)
+                    rep_cpu = time.process_time() - c0
+                    rep_wall = time.perf_counter() - w0
+                    # Deterministic: identical on every repetition.
+                    events[mode] = env.events_processed - base
+                    if wall[mode] is None or rep_wall < wall[mode]:
+                        wall[mode] = rep_wall
+                    if cpu_s[mode] is None or rep_cpu < cpu_s[mode]:
+                        cpu_s[mode] = rep_cpu
+            entries.append({
+                "size": size,
+                "rounds": rounds,
+                "events": dict(events),
+                "event_reduction": events["per_packet"] / events["train"],
+                "events_per_mb": {m: events[m] / payload_mb for m in modes},
+                "wall_s": dict(wall),
+                "cpu_s": dict(cpu_s),
+                "one_way_us": result["train"].one_way_us,
+                "sim_time_identical": (result["per_packet"].one_way_us
+                                       == result["train"].one_way_us),
+            })
+    finally:
+        train.set_coalescing(True)
+    return {
+        "sizes": sizes,
+        "rounds": rounds,
+        "entries": entries,
+        "summary": {
+            "event_reduction_min": min(e["event_reduction"] for e in entries),
+            "events_per_mb_train_max": max(e["events_per_mb"]["train"]
+                                           for e in entries),
+            "sim_time_identical": all(e["sim_time_identical"]
+                                      for e in entries),
+        },
+    }
+
+
 def _data_path_summary(entries: list[dict]) -> dict:
     """Per-path digest: byte-copy reduction and large-transfer speedup."""
     zc = [e for e in entries if e["mode"] == "zero_copy"]
@@ -303,10 +380,12 @@ def run_perf(quick: bool = False) -> dict:
             "contiguous": bench_alloc_contiguous(cycles=200 // scale),
         },
         "data_path": bench_data_path(quick=quick),
+        "packet_train": bench_packet_train(quick=quick),
     }
     eng = report["engine"]
     alloc = report["allocator"]
     dp = report["data_path"]["paths"]
+    pt = report["packet_train"]["summary"]
     report["summary"] = {
         "engine_events_per_sec": round(
             (eng["heap"]["events"] + eng["immediate"]["events"])
@@ -321,6 +400,9 @@ def run_perf(quick: bool = False) -> dict:
             p["summary"]["max_copy_per_byte"] for p in dp.values()),
         "data_path_large_speedup_min": min(
             p["summary"]["large_transfer_speedup"] for p in dp.values()),
+        "packet_train_event_reduction": pt["event_reduction_min"],
+        "packet_train_events_per_mb": pt["events_per_mb_train_max"],
+        "packet_train_sim_identical": pt["sim_time_identical"],
     }
     return report
 
@@ -352,6 +434,8 @@ def main(argv: list[str] | None = None) -> int:
         f"alloc contiguous : {report['allocator']['contiguous']['ops_per_sec']:>12,.0f} ops/s",
         f"data-path copies : {summary['data_path_copy_reduction_min']:>12.2f} x fewer host bytes copied",
         f"data-path speedup: {summary['data_path_large_speedup_min']:>12.2f} x MB/s on >=32 kB transfers",
+        f"packet trains    : {summary['packet_train_event_reduction']:>12.2f} x fewer engine events "
+        f"({summary['packet_train_events_per_mb']:,.0f} events/MB)",
     ):
         print(line, file=sys.stderr if args.out == "-" else sys.stdout)
     return 0

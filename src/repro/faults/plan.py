@@ -27,6 +27,22 @@ themselves, and the same seed must reproduce the same run bit-for-bit:
 Rendering the plan's trace (:func:`repro.sim.trace.render_trace`) after
 two runs of the same seed therefore yields byte-identical text — the
 fault suite asserts exactly this.
+
+Interaction with packet-train coalescing
+----------------------------------------
+
+The analytic wire fast path (:mod:`repro.hw.train`) never runs where a
+fault plan is armed: ``Link.train_block_reason`` answers ``"faults"``
+for any link carrying an injector, so every fragment of a large message
+is simulated per-packet there and presented to ``filter()`` one item at
+a time, in wire order — exactly as before trains existed.  Drop and
+corrupt draw sequences, down-window drops, and therefore rendered fault
+traces are byte-identical to pre-train runs by construction, not by
+sampling luck.  (FRAG pacing packets are individually exempt from
+injection below — semantics ride the train's final per-packet item —
+but refusing trains outright also keeps timed faults honest: a NIC
+reset or link-down edge always finds per-packet wire holds it can
+observe, never an opaque multi-packet analytic hold.)
 """
 
 from __future__ import annotations

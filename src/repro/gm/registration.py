@@ -106,8 +106,8 @@ class RegistrationDomain:
         yield from self.cpu.work(self.register_cost_ns(npages))
         key_base = ((key_vaddr if key_vaddr is not None else vaddr) & ~PAGE_MASK)
         key_base_vpn = key_base >> PAGE_SHIFT
-        for i, frame in enumerate(frames):
-            self.table.install(self.context, key_base_vpn + i, frame.pfn)
+        self.table.install_range(self.context, key_base_vpn,
+                                 [frame.pfn for frame in frames])
         region = GmRegion(self.context, key_base, npages, frames, key_base_vpn)
         self._regions.append(region)
         self.registered_pages += npages
@@ -123,13 +123,11 @@ class RegistrationDomain:
         if npages == 0:
             raise GMRegistrationError("cannot register an empty range")
         yield from self.cpu.work(self.register_cost_ns(npages))
-        frames = []
         key_base_vpn = base >> PAGE_SHIFT
-        for i in range(npages):
-            phys = kspace.translate(base + i * PAGE_SIZE)
-            pfn = phys >> PAGE_SHIFT
-            self.table.install(self.context, key_base_vpn + i, pfn)
-            frames.append(kspace.phys.frame(pfn))
+        pfns = [kspace.translate(base + i * PAGE_SIZE) >> PAGE_SHIFT
+                for i in range(npages)]
+        self.table.install_range(self.context, key_base_vpn, pfns)
+        frames = [kspace.phys.frame(pfn) for pfn in pfns]
         region = GmRegion(self.context, base, npages, frames, key_base_vpn)
         self._regions.append(region)
         self.registered_pages += npages
@@ -157,7 +155,7 @@ class RegistrationDomain:
             return
         region.active = False
         for i in range(region.npages):
-            if self.table.has(self.context, region.key_base_vpn + i):
+            if self.table.get(self.context, region.key_base_vpn + i) is not None:
                 self.table.remove(self.context, region.key_base_vpn + i)
         if unpin:
             for frame in region.frames:

@@ -20,6 +20,8 @@ Behaviour (paper sections 2.2.2 and 3.2):
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -50,6 +52,7 @@ class CacheEntry:
     refcount: int = 0
     last_use: int = 0
     valid: bool = True
+    ins_seq: int = 0  # installation order (lookup/eviction tie-break)
 
     @property
     def npages(self) -> int:
@@ -60,6 +63,63 @@ class CacheEntry:
 
     def overlaps(self, start: int, length: int) -> bool:
         return self.base < start + length and start < self.base + self.length
+
+
+class _SpaceIndex:
+    """Sorted interval index over one address space's cache entries.
+
+    ``order`` holds ``(base, ins_seq)`` pairs kept sorted; ``by_key``
+    maps the same pair to the entry.  A covering-range lookup bisects to
+    the last entry whose base is ``<= vaddr`` and walks left; since
+    bases decrease leftwards and no entry is longer than ``max_len``
+    (a high-water mark), the walk stops as soon as even a maximal entry
+    rooted there could no longer reach the end of the queried range —
+    O(log n + candidates) instead of the old full-list scan.
+    """
+
+    __slots__ = ("order", "by_key", "max_len")
+
+    def __init__(self):
+        self.order: list[tuple[int, int]] = []
+        self.by_key: dict[tuple[int, int], CacheEntry] = {}
+        self.max_len = 0
+
+    def add(self, entry: CacheEntry) -> None:
+        key = (entry.base, entry.ins_seq)
+        insort(self.order, key)
+        self.by_key[key] = entry
+        if entry.length > self.max_len:
+            self.max_len = entry.length
+
+    def remove(self, entry: CacheEntry) -> None:
+        key = (entry.base, entry.ins_seq)
+        del self.by_key[key]
+        i = bisect_right(self.order, key) - 1
+        assert self.order[i] == key
+        self.order.pop(i)
+        # max_len stays a high-water mark; shrinking it would need a
+        # rescan and only costs lookup candidates, not correctness.
+
+    def find_covering(self, vaddr: int, length: int) -> Optional[CacheEntry]:
+        """First-*installed* valid entry covering ``[vaddr, vaddr+length)``
+        (exactly what the old insertion-ordered scan returned)."""
+        order = self.order
+        end = vaddr + length
+        floor = end - self.max_len  # leftmost base that could still cover
+        i = bisect_right(order, (vaddr, float("inf"))) - 1
+        best: Optional[CacheEntry] = None
+        while i >= 0:
+            key = order[i]
+            if key[0] < floor:
+                break
+            entry = self.by_key[key]
+            if entry.covers(vaddr, length) and (best is None or entry.ins_seq < best.ins_seq):
+                best = entry
+            i -= 1
+        return best
+
+    def entries_in_ins_order(self) -> list[CacheEntry]:
+        return sorted(self.by_key.values(), key=lambda e: e.ins_seq)
 
 
 class Gmkrc:
@@ -92,7 +152,13 @@ class Gmkrc:
         self.coherent = coherent
         self.env = port.env
         self.cpu = port.cpu
-        self._entries: list[CacheEntry] = []
+        self._spaces: dict[int, _SpaceIndex] = {}  # asid -> interval index
+        # Entries in last_use order, oldest first (touches are monotonic
+        # in simulated time, so moving a touched entry to the end keeps
+        # the dict sorted); keyed by installation sequence.
+        self._lru: "OrderedDict[int, CacheEntry]" = OrderedDict()
+        self._ins_seq = 0
+        self._cached_pages = 0
         self._watched: dict[int, object] = {}  # asid -> vmaspy watch handle
         # Cache accounting on the metrics registry (unregistered
         # per-instance counters while no registry is installed); the
@@ -150,7 +216,7 @@ class Gmkrc:
                     self.port.domain.register_cost_ns(npages)
                 )
             entry.refcount += 1
-            entry.last_use = self.env.now
+            self._touch(entry)
             return encode_key(space.asid, vaddr), entry
         self._m_misses.inc()
         entry = yield from self._install(space, vaddr, length)
@@ -162,16 +228,26 @@ class Gmkrc:
         if entry.refcount <= 0:
             raise GMError("unbalanced GMKRC release")
         entry.refcount -= 1
-        entry.last_use = self.env.now
+        self._touch(entry)
 
     # -- internals --------------------------------------------------------------------
 
+    def _touch(self, entry: CacheEntry) -> None:
+        entry.last_use = self.env.now
+        self._lru.move_to_end(entry.ins_seq)
+
     def _find(self, space: AddressSpace, vaddr: int, length: int
               ) -> Optional[CacheEntry]:
-        for entry in self._entries:
-            if entry.space.asid == space.asid and entry.covers(vaddr, length):
-                return entry
-        return None
+        index = self._spaces.get(space.asid)
+        if index is None:
+            return None
+        return index.find_covering(vaddr, length)
+
+    def _drop(self, entry: CacheEntry) -> None:
+        entry.valid = False
+        self._spaces[entry.space.asid].remove(entry)
+        del self._lru[entry.ins_seq]
+        self._cached_pages -= entry.npages
 
     def _install(self, space: AddressSpace, vaddr: int, length: int):
         base = vaddr & ~PAGE_MASK
@@ -181,6 +257,7 @@ class Gmkrc:
         region = yield from self.port.domain.register_user(
             space, base, aligned_len, key_vaddr=key_base
         )
+        self._ins_seq += 1
         entry = CacheEntry(
             space=space,
             base=base,
@@ -188,26 +265,41 @@ class Gmkrc:
             key_base=key_base,
             region=region,
             last_use=self.env.now,
+            ins_seq=self._ins_seq,
         )
-        self._entries.append(entry)
+        index = self._spaces.get(space.asid)
+        if index is None:
+            index = self._spaces[space.asid] = _SpaceIndex()
+        index.add(entry)
+        self._lru[entry.ins_seq] = entry
+        self._cached_pages += entry.npages
         self._ensure_watch(space)
         return entry
+
+    def _pick_victim(self) -> Optional[CacheEntry]:
+        """Oldest unreferenced entry; among equal ``last_use``, the
+        earliest-installed one (the old scan's ``min`` tie-break)."""
+        best: Optional[CacheEntry] = None
+        for entry in self._lru.values():
+            if best is not None and entry.last_use != best.last_use:
+                break  # LRU order: later entries can only be newer
+            if entry.refcount == 0 and (best is None or entry.ins_seq < best.ins_seq):
+                best = entry
+        return best
 
     def _make_room(self, need_pages: int):
         """Lazily deregister LRU unreferenced entries until the new
         registration fits the page budget."""
-        while self.cached_pages() + need_pages > self.max_cached_pages:
-            victims = [e for e in self._entries if e.refcount == 0]
-            if not victims:
+        while self._cached_pages + need_pages > self.max_cached_pages:
+            victim = self._pick_victim()
+            if victim is None:
                 raise GMError(
                     "GMKRC budget exceeded and every entry is in use"
                 )
-            victim = min(victims, key=lambda e: e.last_use)
             # This is where the deferred ~200 us deregistration bill
             # finally comes due.
             yield from self.port.domain.deregister(victim.region)
-            victim.valid = False
-            self._entries.remove(victim)
+            self._drop(victim)
             self._m_lazy.inc()
 
     # -- VMA SPY coherence -----------------------------------------------------------
@@ -227,18 +319,20 @@ class Gmkrc:
         overlapping ones.
         """
         space = change.space
-        if change.kind in (ChangeKind.FORK, ChangeKind.EXIT):
-            doomed = [e for e in self._entries if e.space.asid == space.asid]
+        index = self._spaces.get(space.asid)
+        if index is None:
+            doomed: list[CacheEntry] = []
+        elif change.kind in (ChangeKind.FORK, ChangeKind.EXIT):
+            doomed = index.entries_in_ins_order()
         else:
             doomed = [
                 e
-                for e in self._entries
-                if e.space.asid == space.asid and e.overlaps(change.start, change.length)
+                for e in index.entries_in_ins_order()
+                if e.overlaps(change.start, change.length)
             ]
         for entry in doomed:
             self.port.domain.remove_silently(entry.region)
-            entry.valid = False
-            self._entries.remove(entry)
+            self._drop(entry)
             self._m_inval.inc()
         if change.kind is ChangeKind.EXIT:
             handle = self._watched.pop(space.asid, None)
@@ -248,10 +342,10 @@ class Gmkrc:
     # -- introspection ------------------------------------------------------------------
 
     def cached_pages(self) -> int:
-        return sum(e.npages for e in self._entries)
+        return self._cached_pages
 
     def entry_count(self) -> int:
-        return len(self._entries)
+        return len(self._lru)
 
     def hit_ratio(self) -> float:
         total = self.hits + self.misses

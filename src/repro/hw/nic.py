@@ -31,7 +31,6 @@ segments, so end-to-end tests observe genuine data movement.
 
 from __future__ import annotations
 
-import enum
 import itertools
 from collections import deque
 from dataclasses import dataclass
@@ -46,18 +45,14 @@ from ..sim import Environment, Event, Resource, Store
 from ..units import transfer_time_ns
 from .link import Link
 from .params import DEFAULT_RELIABILITY, ApiCosts, NicParams, ReliabilityParams
+from .train import (MIN_TRAIN_FRAGS, PacketTrain, TrainRun,
+                    coalescing_enabled)
+from .wire import MsgKind  # re-export: historic public home of the enum
+
+#: Train-length histogram buckets (packets per train; 1 MiB at the
+#: default 4 KiB MTU is a 255-packet train).
+TRAIN_LEN_BUCKETS = (4, 16, 64, 256, 1024)
 from ..nicfw.transtable import TranslationTable
-
-
-class MsgKind(enum.Enum):
-    """Wire message types."""
-
-    EAGER = "eager"  # data travels immediately
-    RTS = "rts"  # rendezvous request-to-send (control)
-    CTS = "cts"  # rendezvous clear-to-send (control)
-    RDATA = "rdata"  # rendezvous data (pre-matched at the receiver)
-    FRAG = "frag"  # a non-final packet of a fragmented message
-    ACK = "ack"  # reliable-delivery cumulative acknowledgement (control)
 
 
 @dataclass
@@ -678,6 +673,8 @@ class Nic:
             # a semantic message; FRAG packets pace the wire.
             mtu = self.params.mtu_bytes
             remaining = desc.size
+            if remaining > mtu:
+                remaining = yield from self._emit_frags(desc, remaining, mtu)
             while remaining > mtu:
                 frag = Message(
                     kind=MsgKind.FRAG,
@@ -719,6 +716,43 @@ class Nic:
         desc.completion.succeed(
             SendCompletion(tag=desc.tag, size=desc.size, finished_at=self.env.now)
         )
+
+    def _emit_frags(self, desc: SendDescriptor, remaining: int, mtu: int):
+        """Put the FRAG train of a fragmented message on the wire.
+
+        Tries the analytic fast path first: if the whole burst of
+        ``nfrags`` pacing packets would cross an idle, fault-free,
+        untraced link, one :class:`PacketTrain` replaces the per-packet
+        loop with identical wire occupancy and timestamps.  Returns the
+        bytes still to send; anything above one MTU falls through to
+        the caller's classic per-packet loop (the de-coalesced case, or
+        the tail of a train a competitor cut short).
+        """
+        nfrags = (desc.size - 1) // mtu
+        if nfrags < MIN_TRAIN_FRAGS or not coalescing_enabled():
+            return remaining
+        assert self._link is not None
+        why = self._link.train_block_reason(self._link_end)
+        if why is not None:
+            obs.counter("net.train_decoalesce",
+                        where=f"nic{self.node_id}", reason=why).inc()
+            return remaining
+        train = PacketTrain(
+            src_nic=self.node_id,
+            src_port=desc.src_port,
+            dst_nic=desc.dst_nic,
+            dst_port=desc.dst_port,
+            match=desc.match,
+            npackets=nfrags,
+            wire_size=mtu,
+        )
+        run = TrainRun(nfrags)
+        sent = yield from self._link.transmit_train(self._link_end, train, run)
+        obs.counter("net.trains", node=self.node_id).inc()
+        obs.histogram("net.train_len", buckets=TRAIN_LEN_BUCKETS).observe(sent)
+        if sent < nfrags:
+            obs.counter("net.train_splits", where=f"nic{self.node_id}").inc()
+        return remaining - sent * mtu
 
     def _wire_out(self, msg: Message, nbytes: int):
         """Send a control message (no host DMA)."""

@@ -5,6 +5,20 @@ and the examples build small clusters, so a switch is provided.  Each
 node connects to the switch by its own full-duplex :class:`Link`; the
 switch forwards by destination node id with a small crossing cost
 (cut-through, one arbitration per message).
+
+Packet trains
+-------------
+
+A :class:`~repro.hw.train.PacketTrain` arriving on an ingress port is
+forwarded as one analytic hold on the output port when that port is
+eligible (idle, fault-free, untraced, same pacing as the input) —
+otherwise the switch *de-coalesces*: it re-materializes the individual
+FRAG packets at exactly the times they would have crossed per-packet
+(ingress arrival pacing plus the crossing cost) and pushes them through
+the ordinary egress path, competing fairly with other flows.  An
+upstream :class:`~repro.hw.train.TrainTruncation` caps either form:
+the analytic hold re-plans, scheduled per-packet forwards for packets
+that never entered the fabric are cancelled at fire time.
 """
 
 from __future__ import annotations
@@ -15,7 +29,9 @@ from .. import obs
 from ..errors import NetworkError
 from ..sim import Environment
 from .link import Link
+from .nic import Message, MsgKind
 from .params import LinkParams
+from .train import PacketTrain, TrainRun, TrainTruncation
 
 
 class Switch:
@@ -28,6 +44,8 @@ class Switch:
         self.crossing_ns = crossing_ns
         self.name = name
         self._links: dict[int, Link] = {}  # node id -> link to that node
+        #: In-flight train transits by train id (truncation routing).
+        self._train_runs: dict[int, TrainRun] = {}
         #: Optional fault tracer (set by repro.faults.FaultPlan.install).
         self.tracer = None
         # Crossbar accounting on the metrics registry (unregistered
@@ -56,24 +74,44 @@ class Switch:
 
     def _make_ingress(self, from_node: int):
         def ingress(msg: Any) -> None:
-            self.env.process(self._forward(msg), name=f"{self.name}.fwd")
+            t = type(msg)
+            if t is PacketTrain:
+                self._ingress_train(from_node, msg)
+            elif t is TrainTruncation:
+                # Consumed here: downstream either sees our own notice
+                # (analytic hold cut short) or simply never sees the
+                # cancelled per-packet forwards.
+                run = self._train_runs.pop(msg.train_id, None)
+                if run is not None:
+                    run.truncate(msg.npackets)
+            else:
+                self.env.process(self._forward(msg), name=f"{self.name}.fwd")
 
         return ingress
 
-    def _forward(self, msg: Any):
+    def _route(self, msg: Any) -> Link:
         dst = getattr(msg, "dst_nic", None)
         if dst is None:
             raise NetworkError(f"{self.name} cannot route message without dst_nic")
         out = self._links.get(dst)
         if out is None:
             raise NetworkError(f"{self.name} has no port for node {dst}")
+        return out
+
+    def _forward(self, msg: Any):
+        out = self._route(msg)
         yield self.env.timeout(self.crossing_ns)
+        yield from self._egress(out, msg.dst_nic, msg)
+
+    def _egress(self, out: Link, dst: int, msg: Any):
+        """Output-port half of a forward: drop check, accounting, wire."""
         if out.is_down:
             # Output port has no carrier: the crossbar discards the
             # message (reliable delivery at the NICs recovers it).
             self._m_dropped.inc()
-            if self.tracer is not None:
-                self.tracer.emit(self.env.now, "fault", "switch_drop", {
+            tracer = self.tracer
+            if tracer is not None and tracer.wants("fault"):
+                tracer.emit(self.env.now, "fault", "switch_drop", {
                     "switch": self.name, "dst": dst,
                 })
             return
@@ -81,3 +119,88 @@ class Switch:
         self._m_forwards.inc()
         self._m_bytes.inc(nbytes)
         yield from out.transmit("a", msg, nbytes)
+
+    # -- packet-train forwarding ------------------------------------------
+
+    def _ingress_train(self, from_node: int, train: PacketTrain) -> None:
+        run = TrainRun(train.npackets)
+        self._train_runs[train.train_id] = run
+        in_link = self._links[from_node]
+        self.env.process(self._forward_train(train, run, in_link),
+                         name=f"{self.name}.fwd")
+
+    def _forward_train(self, train: PacketTrain, run: TrainRun, in_link: Link):
+        arrival = self.env.now  # first-packet arrival on the ingress port
+        out = self._route(train)
+        per_in = in_link.serialization_ns(train.wire_size)
+        yield self.env.timeout(self.crossing_ns)
+        reason = out.train_block_reason("a")
+        if reason is None and out.serialization_ns(train.wire_size) != per_in:
+            # Never true with uniform LinkParams, but a pacing mismatch
+            # would open inter-packet gaps the analytic hold can't model.
+            reason = "pacing"
+        if reason is None:
+            done = yield from out.transmit_train("a", train, run)
+            self._m_forwards.inc(done)
+            self._m_bytes.inc(done * train.wire_size)
+            if done < train.npackets and run.contended:
+                # Packets done+1.. are still streaming in from upstream;
+                # forward each at its per-packet time, behind the
+                # competitor that broke the hold.
+                obs.counter("net.train_splits", where=self.name).inc()
+                self._schedule_frag_egress(out, train, run, done + 1,
+                                           arrival, per_in)
+            else:
+                # Complete, or cut short by an upstream truncation whose
+                # notice already left the registry.
+                self._train_runs.pop(train.train_id, None)
+            return
+        obs.counter("net.train_decoalesce",
+                    where=self.name, reason=reason).inc()
+        self._schedule_frag_egress(out, train, run, 2, arrival, per_in)
+        # Packet 1 crosses now, through the ordinary egress path (its
+        # request lands in this same callback, as per-packet would).
+        yield from self._egress_frag_now(out, train, run, 1)
+
+    def _schedule_frag_egress(self, out: Link, train: PacketTrain,
+                              run: TrainRun, first: int, arrival: int,
+                              per_in: int) -> None:
+        """Schedule per-packet egress for packets ``first..npackets`` at
+        their ingress-paced forward times; each entry re-checks
+        ``run.limit`` when it fires so later truncations cancel it."""
+        cross = self.crossing_ns
+        entries = [
+            (arrival + (j - 1) * per_in + cross,
+             self._egress_frag, (out, train, run, j))
+            for j in range(first, train.npackets + 1)
+        ]
+        # Registry cleanup after the last packet could have fired: any
+        # truncation notice provably arrives earlier.
+        last = arrival + (train.npackets - 1) * per_in + cross
+        entries.append((last, self._train_runs.pop, (train.train_id, None)))
+        self.env.schedule_bulk(entries)
+
+    def _frag_of(self, train: PacketTrain) -> Message:
+        return Message(
+            kind=MsgKind.FRAG,
+            src_nic=train.src_nic,
+            src_port=train.src_port,
+            dst_nic=train.dst_nic,
+            dst_port=train.dst_port,
+            match=train.match,
+            size=train.wire_size,
+            wire_size=train.wire_size,
+        )
+
+    def _egress_frag(self, out: Link, train: PacketTrain, run: TrainRun,
+                     j: int) -> None:
+        if j > run.limit:
+            return  # truncated upstream: packet j never entered the fabric
+        self.env.process(self._egress(out, train.dst_nic, self._frag_of(train)),
+                         name=f"{self.name}.fwd")
+
+    def _egress_frag_now(self, out: Link, train: PacketTrain, run: TrainRun,
+                         j: int):
+        if j > run.limit:
+            return
+        yield from self._egress(out, train.dst_nic, self._frag_of(train))

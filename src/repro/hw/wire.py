@@ -1,0 +1,22 @@
+"""Wire-level message kinds.
+
+Lives in its own leaf module so both the NIC model (:mod:`repro.hw.nic`)
+and the packet-train machinery (:mod:`repro.hw.train`, imported by
+:mod:`repro.hw.link`) can name the FRAG kind without an import cycle.
+The public home of the enum remains ``repro.hw.nic.MsgKind``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MsgKind(enum.Enum):
+    """Wire message types."""
+
+    EAGER = "eager"  # data travels immediately
+    RTS = "rts"  # rendezvous request-to-send (control)
+    CTS = "cts"  # rendezvous clear-to-send (control)
+    RDATA = "rdata"  # rendezvous data (pre-matched at the receiver)
+    FRAG = "frag"  # a non-final packet of a fragmented message
+    ACK = "ack"  # reliable-delivery cumulative acknowledgement (control)

@@ -16,6 +16,7 @@ which is exactly the pressure that makes pin-down caches evict lazily.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from ..errors import TranslationMiss, TranslationTableFull
 
@@ -63,6 +64,32 @@ class TranslationTable:
         self.install_count += 1
         return entry
 
+    def install_range(self, context: int, base_vpn: int,
+                      pfns: Sequence[int]) -> None:
+        """Install translations for ``base_vpn + i -> pfns[i]``, all or
+        nothing.
+
+        The vectorial form of :meth:`install` used by registration: the
+        capacity check runs once over the fresh keys (re-installs are
+        updates and need no slot), so a mid-range
+        :class:`TranslationTableFull` can't leave a partial range behind.
+        """
+        entries = self._entries
+        fresh = sum(1 for i in range(len(pfns))
+                    if (context, base_vpn + i) not in entries)
+        if len(entries) + fresh > self.capacity:
+            raise TranslationTableFull(
+                f"translation table full ({self.capacity} entries)"
+            )
+        for i, pfn in enumerate(pfns):
+            key = (context, base_vpn + i)
+            existing = entries.get(key)
+            if existing is not None:
+                existing.pfn = pfn
+            else:
+                entries[key] = TranslationEntry(context, base_vpn + i, pfn)
+        self.install_count += fresh
+
     def remove(self, context: int, vpn: int) -> None:
         """Remove one translation (deregistration)."""
         try:
@@ -83,6 +110,16 @@ class TranslationTable:
         if entry is None:
             raise TranslationMiss(f"no translation for context={context} vpn={vpn:#x}")
         return entry.pfn
+
+    def get(self, context: int, vpn: int) -> Optional[int]:
+        """Single probe: the pfn, or None if not installed.
+
+        Unlike :meth:`lookup` this is host-side bookkeeping (silent
+        deregistration, cache maintenance), not a charged NIC
+        translation, so it does not count toward ``lookup_count``.
+        """
+        entry = self._entries.get((context, vpn))
+        return None if entry is None else entry.pfn
 
     def has(self, context: int, vpn: int) -> bool:
         return (context, vpn) in self._entries

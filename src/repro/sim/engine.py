@@ -134,10 +134,21 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: int, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout {delay}")
-        super().__init__(env, name=f"Timeout({delay})")
+        # Timeouts are the most-constructed event in the simulator:
+        # inline Event.__init__ and _schedule (a fresh event cannot be
+        # scheduled twice) and use a static name — the delay is
+        # recoverable from the heap entry.
+        self.env = env
+        self.callbacks = []
         self._value = value
         self._ok = True
-        env._schedule(self, delay)
+        self._scheduled = True
+        self.name = "timeout"
+        if delay == 0:
+            env._immediate.append(self)
+        else:
+            env._seq += 1
+            heapq.heappush(env._heap, (env._now + delay, env._seq, self))
 
 
 class _Start:
@@ -311,6 +322,30 @@ class AnyOf(_Condition):
         self.succeed(self._collect())
 
 
+class _Call(Event):
+    """A pre-triggered event that invokes a plain callable when processed.
+
+    The cheapest way to run ``fn(*args)`` at an absolute simulated time:
+    one heap entry, no generator, no Process machinery.  Used by the
+    packet-train fast path to deliver analytically-timed arrivals.
+    """
+
+    __slots__ = ("_fn", "_args")
+
+    def __init__(self, env: "Environment", fn: Callable[..., Any], args: tuple):
+        self.env = env
+        self._fn = fn
+        self._args = args
+        self._value = None
+        self._ok = True
+        self._scheduled = False
+        self.name = getattr(fn, "__name__", "call")
+        self.callbacks = [self._run]
+
+    def _run(self, _event: "Event") -> None:
+        self._fn(*self._args)
+
+
 class Environment:
     """The simulation world: clock, event queues, and process factory."""
 
@@ -319,6 +354,10 @@ class Environment:
         self._heap: list[tuple[int, int, Event]] = []
         self._immediate: deque[Any] = deque()
         self._seq: int = 0
+        #: Total events dispatched by ``run``/``step`` over the
+        #: environment's lifetime.  Deterministic (same model, same
+        #: count), so perf gates can budget on it instead of wall-clock.
+        self.events_processed: int = 0
 
     @property
     def now(self) -> int:
@@ -359,6 +398,54 @@ class Environment:
             self._seq += 1
             heapq.heappush(self._heap, (self._now + delay, self._seq, event))
 
+    def call_at(self, when: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute simulated time ``when``.
+
+        One heap (or immediate-queue) entry total — no Timeout, no
+        Process.  ``when`` may equal ``now`` (queued as an immediate,
+        i.e. after heap entries already due at this timestamp).
+        """
+        delay = when - self._now
+        if delay < 0:
+            raise SimulationError(f"call_at({when}) is in the past (now {self._now})")
+        call = _Call(self, fn, args)
+        self._schedule(call, delay)
+        return call
+
+    def schedule_bulk(self, entries: Iterable[tuple[int, Callable[..., Any], tuple]]) -> None:
+        """Schedule many ``(when, fn, args)`` callbacks in one pass.
+
+        Sequence numbers are assigned in entry order, so same-timestamp
+        entries fire in the order given — exactly as if ``call_at`` had
+        been called once per entry.  When the batch is large relative to
+        the live heap, one ``heapify`` over the extended list beats
+        per-entry sift-up.
+        """
+        heap = self._heap
+        imm = self._immediate
+        now = self._now
+        pending: list[tuple[int, int, Event]] = []
+        for when, fn, args in entries:
+            if when < now:
+                raise SimulationError(f"schedule_bulk entry at {when} is in the past (now {now})")
+            call = _Call(self, fn, args)
+            call._scheduled = True
+            if when == now:
+                imm.append(call)
+            else:
+                self._seq += 1
+                pending.append((when, self._seq, call))
+        if not pending:
+            return
+        # heappush is O(log n) each; heapify is O(n) total.  Pushing is
+        # cheaper while the batch is small next to the heap.
+        if len(pending) * 4 < len(heap):
+            for entry in pending:
+                heapq.heappush(heap, entry)
+        else:
+            heap.extend(pending)
+            heapq.heapify(heap)
+
     def step(self) -> None:
         """Pop and process the next event; raises if both queues are empty."""
         heap = self._heap
@@ -373,6 +460,7 @@ class Environment:
             self._now = when
         else:
             raise SimulationError("step() on an empty event queue")
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None
@@ -397,41 +485,53 @@ class Environment:
         heap = self._heap
         imm = self._immediate
         pop = heapq.heappop
+        # Event accounting stays off the hot loop: bump a local int and
+        # flush it to the instance counter once the loop exits (the
+        # finally runs even when a callback raises).
+        n = 0
 
         if until is None:
-            while True:
-                if heap and heap[0][0] == self._now:
-                    event = pop(heap)[2]
-                elif imm:
-                    event = imm.popleft()
-                elif heap:
-                    when, _, event = pop(heap)
-                    self._now = when
-                else:
-                    return None
-                callbacks = event.callbacks
-                event.callbacks = None
-                for fn in callbacks:
-                    fn(event)
+            try:
+                while True:
+                    if heap and heap[0][0] == self._now:
+                        event = pop(heap)[2]
+                    elif imm:
+                        event = imm.popleft()
+                    elif heap:
+                        when, _, event = pop(heap)
+                        self._now = when
+                    else:
+                        return None
+                    n += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for fn in callbacks:
+                        fn(event)
+            finally:
+                self.events_processed += n
 
         if isinstance(until, Event):
             target = until
-            while target.callbacks is not None:
-                if heap and heap[0][0] == self._now:
-                    event = pop(heap)[2]
-                elif imm:
-                    event = imm.popleft()
-                elif heap:
-                    when, _, event = pop(heap)
-                    self._now = when
-                else:
-                    raise SimulationError(
-                        f"event queue drained before {target!r} fired (deadlock?)"
-                    )
-                callbacks = event.callbacks
-                event.callbacks = None
-                for fn in callbacks:
-                    fn(event)
+            try:
+                while target.callbacks is not None:
+                    if heap and heap[0][0] == self._now:
+                        event = pop(heap)[2]
+                    elif imm:
+                        event = imm.popleft()
+                    elif heap:
+                        when, _, event = pop(heap)
+                        self._now = when
+                    else:
+                        raise SimulationError(
+                            f"event queue drained before {target!r} fired (deadlock?)"
+                        )
+                    n += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for fn in callbacks:
+                        fn(event)
+            finally:
+                self.events_processed += n
             if target.ok:
                 return target.value
             raise target.value
@@ -439,20 +539,24 @@ class Environment:
         deadline = int(until)
         if deadline < self._now:
             raise SimulationError(f"cannot run until {deadline} < now {self._now}")
-        while True:
-            if heap and heap[0][0] == self._now:
-                event = pop(heap)[2]
-            elif imm:
-                event = imm.popleft()
-            elif heap and heap[0][0] <= deadline:
-                when, _, event = pop(heap)
-                self._now = when
-            else:
-                break
-            callbacks = event.callbacks
-            event.callbacks = None
-            for fn in callbacks:
-                fn(event)
+        try:
+            while True:
+                if heap and heap[0][0] == self._now:
+                    event = pop(heap)[2]
+                elif imm:
+                    event = imm.popleft()
+                elif heap and heap[0][0] <= deadline:
+                    when, _, event = pop(heap)
+                    self._now = when
+                else:
+                    break
+                n += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for fn in callbacks:
+                    fn(event)
+        finally:
+            self.events_processed += n
         self._now = deadline
         return None
 

@@ -20,6 +20,14 @@ def test_run_perf_quick_report_shape():
         assert block["ops_per_sec"] > 0
     assert report["summary"]["engine_events_per_sec"] > 0
     assert report["summary"]["allocator_ops_per_sec"] > 0
+    pt = report["packet_train"]
+    for entry in pt["entries"]:
+        assert entry["events"]["per_packet"] > entry["events"]["train"] > 0
+        assert entry["sim_time_identical"] is True
+    # The same numbers CI gates on, at their authoritative thresholds.
+    assert pt["summary"]["event_reduction_min"] >= 3.0
+    assert pt["summary"]["events_per_mb_train_max"] <= 150
+    assert report["summary"]["packet_train_event_reduction"] >= 3.0
 
 
 def test_perf_main_writes_json(tmp_path):

@@ -202,3 +202,33 @@ def test_closed_port_rejects_operations(pair):
     port.close()
     with pytest.raises(GMError):
         run(env, port.receive_event())
+
+
+def test_install_range_is_all_or_nothing():
+    from repro.errors import TranslationTableFull
+    from repro.nicfw.transtable import TranslationTable
+
+    table = TranslationTable(4)
+    table.install(7, 100, 1)
+    # 2 fresh + 1 re-install fits exactly: 100 updates, 101/102 are new.
+    table.install_range(7, 100, [11, 12, 13])
+    assert len(table) == 3 and table.get(7, 100) == 11
+    # 2 fresh entries would overflow by one: nothing may be installed.
+    with pytest.raises(TranslationTableFull):
+        table.install_range(7, 102, [20, 21, 22])
+    assert len(table) == 3
+    assert table.get(7, 102) == 13  # pre-existing pfn untouched
+    assert table.get(7, 103) is None and table.get(7, 104) is None
+    assert table.install_count == 3
+
+
+def test_table_get_probes_without_charging_lookups():
+    from repro.nicfw.transtable import TranslationTable
+
+    table = TranslationTable(4)
+    table.install(1, 5, 42)
+    assert table.get(1, 5) == 42
+    assert table.get(1, 6) is None
+    assert table.lookup_count == 0  # get() is host-side bookkeeping
+    assert table.lookup(1, 5) == 42
+    assert table.lookup_count == 1

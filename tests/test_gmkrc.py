@@ -218,3 +218,60 @@ def test_end_to_end_send_through_cached_registration():
     event = env.run(until=env.process(receiver(env)))
     assert event.size == 13
     assert b.kspace.read_bytes(dst.vaddr, 13) == b"via-gmkrc-key"
+
+
+# -- the sorted interval index ------------------------------------------------
+
+
+def _index_entry(base, length, ins_seq):
+    from repro.gmkrc.cache import CacheEntry
+
+    return CacheEntry(space=None, base=base, length=length,
+                      key_base=base, region=None, ins_seq=ins_seq)
+
+
+def test_space_index_matches_linear_scan():
+    """Property: find_covering == the old first-installed linear scan,
+    through a deterministic add/remove/query workload."""
+    from repro.gmkrc.cache import _SpaceIndex
+
+    index = _SpaceIndex()
+    live = []  # insertion order, like the old flat list
+    seq = 0
+    rng_state = 12345
+
+    def rng(n):
+        nonlocal rng_state
+        rng_state = (rng_state * 1103515245 + 12345) & 0x7FFFFFFF
+        return rng_state % n
+
+    for step in range(600):
+        op = rng(3)
+        if op < 2 or not live:  # add (biased: keep the index populated)
+            seq += 1
+            base = rng(64) * PAGE_SIZE
+            length = (1 + rng(8)) * PAGE_SIZE
+            entry = _index_entry(base, length, seq)
+            index.add(entry)
+            live.append(entry)
+        else:  # remove a pseudo-random live entry
+            entry = live.pop(rng(len(live)))
+            index.remove(entry)
+        vaddr = rng(72) * PAGE_SIZE
+        length = (1 + rng(8)) * PAGE_SIZE
+        expect = next((e for e in live if e.covers(vaddr, length)), None)
+        assert index.find_covering(vaddr, length) is expect
+    assert sorted(index.by_key) == index.order
+
+
+def test_space_index_prefers_first_installed_of_overlapping():
+    from repro.gmkrc.cache import _SpaceIndex
+
+    index = _SpaceIndex()
+    older = _index_entry(0, 8 * PAGE_SIZE, ins_seq=1)
+    newer = _index_entry(0, 8 * PAGE_SIZE, ins_seq=2)
+    index.add(newer)
+    index.add(older)
+    assert index.find_covering(PAGE_SIZE, PAGE_SIZE) is older
+    index.remove(older)
+    assert index.find_covering(PAGE_SIZE, PAGE_SIZE) is newer
