@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -361,6 +362,65 @@ def _data_path_summary(entries: list[dict]) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# sharded engine
+# ---------------------------------------------------------------------------
+
+
+def bench_sharded(quick: bool = False) -> dict:
+    """Wall-clock and determinism A/B of the sharded engine.
+
+    Runs the duplex-stream workload (both nodes transmitting
+    simultaneously, so both shards have real work at the same simulated
+    time) sequentially and as a 2-shard fork, and checks the results
+    agree exactly: same final clock, same per-node completion times,
+    same total event count.  That identity check is the CI gate on
+    every host; the speedup is additionally gated (>= 1.3x) only where
+    ``os.cpu_count() >= 2`` — on a single core the fork can only lose.
+    """
+    from ..sim.shard import run_sequential, run_sharded
+    from .shard import DuplexStreamScenario
+
+    scenario = (DuplexStreamScenario(count=8, pairs=2) if quick
+                else DuplexStreamScenario(count=128, pairs=16))
+    reps = 1 if quick else 2
+    wall = {"sequential": None, "sharded": None}
+    res = {}
+    for _ in range(reps):
+        for mode, run in (("sequential", run_sequential),
+                          ("sharded", run_sharded)):
+            t0 = time.perf_counter()
+            res[mode] = run(scenario)
+            elapsed = time.perf_counter() - t0
+            if wall[mode] is None or elapsed < wall[mode]:
+                wall[mode] = elapsed
+    seq, shard = res["sequential"], res["sharded"]
+    seq_payload = seq.payloads[0]          # {sid: result} pseudo-shard
+    identical = (
+        shard.now == seq.now
+        and shard.events_processed == seq.events_processed
+        and all(shard.payloads[sid] == seq_payload[sid]
+                for sid in range(scenario.nshards))
+    )
+    cores = os.cpu_count() or 1
+    return {
+        "workload": {"size": scenario.size, "count": scenario.count,
+                     "pairs": scenario.pairs, "nshards": scenario.nshards,
+                     "lookahead_ns": scenario.link.propagation_ns},
+        "cores": cores,
+        "wall_s": dict(wall),
+        "speedup": wall["sequential"] / wall["sharded"],
+        "events": seq.events_processed,
+        "events_per_shard": shard.events_per_shard,
+        "events_per_sec": {
+            "sequential": seq.events_processed / wall["sequential"],
+            "sharded": shard.events_processed / wall["sharded"],
+        },
+        "sim_now_ns": shard.now,
+        "sim_identical": identical,
+    }
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -381,11 +441,13 @@ def run_perf(quick: bool = False) -> dict:
         },
         "data_path": bench_data_path(quick=quick),
         "packet_train": bench_packet_train(quick=quick),
+        "sharded": bench_sharded(quick=quick),
     }
     eng = report["engine"]
     alloc = report["allocator"]
     dp = report["data_path"]["paths"]
     pt = report["packet_train"]["summary"]
+    sh = report["sharded"]
     report["summary"] = {
         "engine_events_per_sec": round(
             (eng["heap"]["events"] + eng["immediate"]["events"])
@@ -403,6 +465,9 @@ def run_perf(quick: bool = False) -> dict:
         "packet_train_event_reduction": pt["event_reduction_min"],
         "packet_train_events_per_mb": pt["events_per_mb_train_max"],
         "packet_train_sim_identical": pt["sim_time_identical"],
+        "sharded_sim_identical": sh["sim_identical"],
+        "sharded_speedup": sh["speedup"],
+        "sharded_cores": sh["cores"],
     }
     return report
 
@@ -436,6 +501,9 @@ def main(argv: list[str] | None = None) -> int:
         f"data-path speedup: {summary['data_path_large_speedup_min']:>12.2f} x MB/s on >=32 kB transfers",
         f"packet trains    : {summary['packet_train_event_reduction']:>12.2f} x fewer engine events "
         f"({summary['packet_train_events_per_mb']:,.0f} events/MB)",
+        f"sharded (2 procs): {summary['sharded_speedup']:>12.2f} x vs sequential on "
+        f"{summary['sharded_cores']} core(s), "
+        f"identical={summary['sharded_sim_identical']}",
     ):
         print(line, file=sys.stderr if args.out == "-" else sys.stdout)
     return 0

@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
 from .. import obs
+from ..sim.engine import Environment
 from .figures import FIGURES, run_figure
 from .report import format_metrics
 
@@ -40,17 +42,21 @@ def _mark_figure(name: str) -> None:
         tl.instant(0, "bench", f"figure:{name}")
 
 
-def _run_text(name: str) -> tuple[str, str, float]:
-    """Worker: render one experiment; returns (name, text, seconds)."""
+def _run_text(name: str) -> tuple[str, str, float, int]:
+    """Worker: render one experiment; returns (name, text, seconds, events)."""
     t0 = time.perf_counter()
+    ev0 = Environment.lifetime_events_processed
     _mark_figure(name)
     text = run_figure(name)
-    return name, text, time.perf_counter() - t0
+    events = Environment.lifetime_events_processed - ev0
+    return name, text, time.perf_counter() - t0, events
 
 
-def _run_json(name: str) -> tuple[str, dict, float]:
-    """Worker: run one figure for --json; returns (name, payload, seconds)."""
+def _run_json(name: str) -> tuple[str, dict, float, int]:
+    """Worker: run one figure for --json; returns (name, payload, seconds,
+    events)."""
     t0 = time.perf_counter()
+    ev0 = Environment.lifetime_events_processed
     _mark_figure(name)
     data = FIGURES[name]()
     payload = {
@@ -60,7 +66,8 @@ def _run_json(name: str) -> tuple[str, dict, float]:
         "xs": list(data.xs),
         "series": {k: list(v) for k, v in data.series.items()},
     }
-    return name, payload, time.perf_counter() - t0
+    events = Environment.lifetime_events_processed - ev0
+    return name, payload, time.perf_counter() - t0, events
 
 
 def _execute(names: list[str], worker, jobs: int):
@@ -69,10 +76,11 @@ def _execute(names: list[str], worker, jobs: int):
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            results = {name: (payload, secs)
-                       for name, payload, secs in pool.map(worker, names)}
+            results = {name: (payload, secs, events)
+                       for name, payload, secs, events
+                       in pool.map(worker, names)}
         return [(name, *results[name]) for name in names]
-    return [worker(name)[0:3] for name in names]
+    return [worker(name) for name in names]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -84,6 +92,12 @@ def main(argv: list[str] | None = None) -> int:
         from .faults import main as faults_main
 
         return faults_main(argv[1:])
+    if argv and argv[0] == "shard":
+        # Sharded execution of the two-node figures: one worker process
+        # per node, synchronised by the wire's propagation lookahead.
+        from .shard import main as shard_main
+
+        return shard_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate tables/figures of Goglin et al., CLUSTER 2005",
@@ -96,9 +110,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="emit the series as JSON instead of tables "
                              "(table1 is text-only and is skipped)")
     parser.add_argument("--parallel", type=int, default=1, metavar="N",
-                        help="run experiments over N worker processes "
-                             "(each figure builds its own Environment, so "
-                             "results are identical to a sequential run)")
+                        help="run experiments over N worker processes; 0 "
+                             "means auto (one per CPU core). Each figure "
+                             "builds its own Environment, so results are "
+                             "identical to a sequential run")
     parser.add_argument("--timings", action="store_true",
                         help="report per-experiment wall-clock on stderr")
     parser.add_argument("--metrics", metavar="OUT.json",
@@ -113,9 +128,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.list or not args.experiments:
         print("\n".join(ALL))
         return 0
-    if args.parallel < 1:
-        print(f"--parallel must be >= 1, got {args.parallel}", file=sys.stderr)
+    if args.parallel < 0:
+        print(f"--parallel must be >= 0, got {args.parallel}", file=sys.stderr)
         return 2
+    if args.parallel == 0:
+        args.parallel = os.cpu_count() or 1
     observing = args.metrics or args.timeline
     if observing and args.parallel > 1:
         # Parallel workers can't share one ambient registry/timeline;
@@ -140,11 +157,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.json:
             names = [n for n in names if n != "table1"]
             results = _execute(names, _run_json, args.parallel)
-            print(json.dumps({name: payload for name, payload, _ in results},
+            print(json.dumps({name: payload for name, payload, *_ in results},
                              indent=2))
         else:
             results = _execute(names, _run_text, args.parallel)
-            for _, text, _ in results:
+            for _, text, *_ in results:
                 print(text)
                 print()
     finally:
@@ -158,10 +175,14 @@ def main(argv: list[str] | None = None) -> int:
     if timeline is not None:
         timeline.write(args.timeline)
     if args.timings:
-        for name, _, secs in results:
-            print(f"[timing] {name:8s} {secs:7.3f} s", file=sys.stderr)
-        print(f"[timing] total    {time.perf_counter() - t_all:7.3f} s "
-              f"(parallel={args.parallel})", file=sys.stderr)
+        total_events = 0
+        for name, _, secs, events in results:
+            total_events += events
+            print(f"[timing] {name:8s} {secs:7.3f} s  {events:>10d} events",
+                  file=sys.stderr)
+        print(f"[timing] total    {time.perf_counter() - t_all:7.3f} s  "
+              f"{total_events:>10d} events (parallel={args.parallel})",
+              file=sys.stderr)
     return 0
 
 

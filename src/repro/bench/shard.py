@@ -1,0 +1,356 @@
+"""Sharded figure drivers: 2-shard netpipe experiments over cut wires.
+
+``python -m repro.bench shard`` regenerates the subset of the paper's
+figures whose topology is the two-node platform — each node becomes one
+shard, the back-to-back ``wire`` becomes the border, and its 500 ns
+propagation delay is the conservative lookahead of the null-token
+protocol.  Output is byte-identical to the sequential drivers in
+:mod:`repro.bench.figures` (``--verify`` proves it in-process; the CI
+``shard-smoke`` job diffs against ``bench_figures.txt``).
+
+The module also defines the scenario classes shared by the tests and
+the ``repro.bench.perf`` ``sharded`` section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cluster.node import Node
+from ..hw.params import HostParams, LinkParams, NicParams, PCI_XD
+from ..sim.engine import Environment
+from ..sim.shard import ShardResult, run_sequential, run_sharded
+from ..units import KiB, MiB, PAGE_SIZE
+from .figures import FIGURES, FigureData
+from .netpipe import PingPongResult
+from .transports import GmKernelTransport, GmUserTransport, MxTransport
+
+
+def _make_transport(kind: str, node: Node, peer: int):
+    if kind == "gm_user":
+        return GmUserTransport(node, 1, peer_node=peer, peer_port=1)
+    if kind == "gm_kernel_virtual":
+        return GmKernelTransport(node, 1, peer_node=peer, peer_port=1,
+                                 addressing="virtual")
+    if kind == "gm_kernel_physical":
+        return GmKernelTransport(node, 1, peer_node=peer, peer_port=1,
+                                 addressing="physical")
+    if kind.startswith("mx_"):
+        _, context, *flags = kind.split("_")
+        return MxTransport(node, 1, peer_node=peer, peer_ep=1,
+                           context=context,
+                           physical="physical" in flags,
+                           no_send_copy="nosendcopy" in flags,
+                           no_recv_copy="norecvcopy" in flags)
+    raise KeyError(f"unknown transport kind {kind!r}")
+
+
+@dataclass
+class NetpipeShardScenario:
+    """One ``_netpipe_series`` sweep with each node in its own shard.
+
+    Shard 0 holds nodeA and runs the initiator, shard 1 holds nodeB and
+    runs the responder; phase 0 prepares both transports (the phase
+    barrier reproduces ``prepare_pair``'s all-of join), phase 1 runs the
+    ping-pong sweep.  The client shard's payload is the series of
+    figure values.
+    """
+
+    transport: str
+    sizes: tuple
+    metric: str
+    rounds: int = 8
+    warmup: int = 2
+    link: LinkParams = PCI_XD
+    observe: bool = False
+
+    nshards = 2
+    nphases = 2
+
+    def borders(self):
+        return [("wire", 0, 1)]
+
+    def build(self, shard_id: int, env: Environment, hub):
+        params = HostParams(nic=NicParams(link=self.link))
+        end = "a" if shard_id == 0 else "b"
+        node = Node(env, shard_id, params,
+                    name="nodeA" if shard_id == 0 else "nodeB")
+        wire = hub.border_link("wire", self.link, local_end=end)
+        node.nic.attach_link(wire, end)
+        transport = _make_transport(self.transport, node, peer=1 - shard_id)
+        return {"node": node, "transport": transport, "series": []}
+
+    def phase(self, shard_id: int, k: int, env: Environment, ctx):
+        t = ctx["transport"]
+        if k == 0:
+            return [t.prepare(max(max(self.sizes), PAGE_SIZE))]
+        if shard_id == 0:
+            return [self._client(env, ctx)]
+        return [self._responder(env, ctx)]
+
+    def _client(self, env: Environment, ctx):
+        t = ctx["transport"]
+        for size in self.sizes:
+            t0 = 0
+            for i in range(self.warmup + self.rounds):
+                if i == self.warmup:
+                    t0 = env.now
+                yield from t.send(size, match=i)
+                yield from t.recv(size)
+            r = PingPongResult(size=size, rounds=self.rounds,
+                               one_way_ns=(env.now - t0) / (2 * self.rounds))
+            ctx["series"].append(r.one_way_us if self.metric == "latency_us"
+                                 else r.bandwidth_mb_s)
+
+    def _responder(self, env: Environment, ctx):
+        t = ctx["transport"]
+        for size in self.sizes:
+            for i in range(self.warmup + self.rounds):
+                yield from t.recv(size)
+                yield from t.send(size, match=i)
+
+    def result(self, shard_id: int, env: Environment, ctx):
+        return {"series": ctx["series"], "now": env.now}
+
+
+#: Perf wire: a rack-scale latency (50 us) rather than the back-to-back
+#: 500 ns of PCI_XD.  Lookahead IS the propagation delay, so a longer
+#: wire means fewer, fatter sync windows — exactly the topologies the
+#: sharded engine targets.
+RACK_WIRE = LinkParams(
+    name="rack-wire",
+    link_bandwidth=PCI_XD.link_bandwidth,
+    pci_bandwidth=PCI_XD.pci_bandwidth,
+    propagation_ns=50_000,
+    cut_through_lag_ns=PCI_XD.cut_through_lag_ns,
+)
+
+
+@dataclass
+class DuplexStreamScenario:
+    """``pairs`` node pairs all streaming full-duplex (perf workload).
+
+    Unlike the request/response figures, both shards are busy at the
+    same simulated time, so a 2-shard run can genuinely use two cores.
+    Pair ``p`` puts node ``2p`` in shard 0 and node ``2p+1`` in shard 1,
+    joined by its own border wire; each side alternates send/recv over
+    ``count`` messages of ``size`` bytes.  More pairs pack more events
+    into every lookahead window, amortising the per-window token
+    exchange.  The payload records per-pair completion times so the
+    perf harness can assert sharded == sequential.
+    """
+
+    size: int = 64 * KiB
+    count: int = 32
+    pairs: int = 4
+    link: LinkParams = RACK_WIRE
+    observe: bool = False
+
+    nshards = 2
+    nphases = 2
+
+    def borders(self):
+        return [(f"wire{p}", 0, 1) for p in range(self.pairs)]
+
+    def build(self, shard_id: int, env: Environment, hub):
+        end = "a" if shard_id == 0 else "b"
+        transports = []
+        for p in range(self.pairs):
+            params = HostParams(nic=NicParams(link=self.link))
+            node_id = 2 * p + shard_id
+            node = Node(env, node_id, params, name=f"node{node_id}")
+            wire = hub.border_link(f"wire{p}", self.link, local_end=end)
+            node.nic.attach_link(wire, end)
+            transports.append(
+                _make_transport("gm_user", node, peer=2 * p + 1 - shard_id))
+        return {"transports": transports, "done_at": [0] * self.pairs}
+
+    def phase(self, shard_id: int, k: int, env: Environment, ctx):
+        if k == 0:
+            return [t.prepare(max(self.size, PAGE_SIZE))
+                    for t in ctx["transports"]]
+        return [self._stream(env, ctx, p) for p in range(self.pairs)]
+
+    def _stream(self, env: Environment, ctx, p: int):
+        t = ctx["transports"][p]
+        for i in range(self.count):
+            yield from t.send(self.size, match=i)
+            yield from t.recv(self.size)
+        ctx["done_at"][p] = env.now
+
+    def result(self, shard_id: int, env: Environment, ctx):
+        return {"done_at": list(ctx["done_at"]), "now": env.now}
+
+
+# ---------------------------------------------------------------------------
+# sharded figure drivers (must mirror repro.bench.figures exactly)
+# ---------------------------------------------------------------------------
+
+
+def _series(transport: str, sizes, metric: str) -> list[float]:
+    scenario = NetpipeShardScenario(transport=transport, sizes=tuple(sizes),
+                                    metric=metric)
+    result = run_sharded(scenario)
+    return result.payloads[0]["series"]
+
+
+def shard_fig4a(sizes=(16, 64, 256, 1024, 4096)) -> FigureData:
+    sizes = list(sizes)
+    return FigureData(
+        name="fig4a",
+        title="GM kernel latency: registered virtual vs physical address",
+        xlabel="size",
+        unit="us",
+        xs=sizes,
+        series={
+            "Memory Registration": _series("gm_kernel_virtual", sizes,
+                                           "latency_us"),
+            "Physical Address": _series("gm_kernel_physical", sizes,
+                                        "latency_us"),
+        },
+    )
+
+
+def shard_fig5a(sizes=(1, 16, 256, 1024, 4096)) -> FigureData:
+    sizes = list(sizes)
+    return FigureData(
+        name="fig5a",
+        title="small-message latency: GM vs MX, user vs kernel",
+        xlabel="size",
+        unit="us",
+        xs=sizes,
+        series={
+            "GM User": _series("gm_user", sizes, "latency_us"),
+            "GM Kernel": _series("gm_kernel_virtual", sizes, "latency_us"),
+            "MX User": _series("mx_user", sizes, "latency_us"),
+            "MX Kernel": _series("mx_kernel", sizes, "latency_us"),
+        },
+    )
+
+
+def shard_fig5b(sizes=(1024, 4096, 16 * KiB, 64 * KiB, 256 * KiB,
+                       MiB)) -> FigureData:
+    sizes = list(sizes)
+    return FigureData(
+        name="fig5b",
+        title="bandwidth: GM vs MX user vs MX kernel (physical)",
+        xlabel="size",
+        unit="MB/s",
+        xs=sizes,
+        series={
+            "GM": _series("gm_user", sizes, "bandwidth"),
+            "MX User": _series("mx_user", sizes, "bandwidth"),
+            "MX Kernel Physical": _series("mx_kernel_physical", sizes,
+                                          "bandwidth"),
+        },
+    )
+
+
+def shard_fig6(sizes=(1024, 4096, 16 * KiB, 32 * KiB, 64 * KiB,
+                      256 * KiB)) -> FigureData:
+    sizes = list(sizes)
+    return FigureData(
+        name="fig6",
+        title="impact of removing the medium-message copies (MX)",
+        xlabel="size",
+        unit="MB/s",
+        xs=sizes,
+        series={
+            "MX User": _series("mx_user", sizes, "bandwidth"),
+            "MX Kernel": _series("mx_kernel_physical", sizes, "bandwidth"),
+            "MX Kernel No-send-copy": _series(
+                "mx_kernel_physical_nosendcopy", sizes, "bandwidth"),
+            "MX Kernel No-copy (predicted)": _series(
+                "mx_kernel_physical_nosendcopy_norecvcopy", sizes,
+                "bandwidth"),
+        },
+    )
+
+
+#: Figures whose topology is the plain two-node pair and can therefore
+#: be sharded one-node-per-worker.  The ORFA/ORFS and sockets figures
+#: drive client/server rigs through shared in-process state and stay
+#: sequential-only.
+SHARD_FIGURES = {
+    "fig4a": shard_fig4a,
+    "fig5a": shard_fig5a,
+    "fig5b": shard_fig5b,
+    "fig6": shard_fig6,
+}
+
+
+def run_shard_figure(name: str) -> str:
+    try:
+        fn = SHARD_FIGURES[name]
+    except KeyError:
+        raise KeyError(
+            f"figure {name!r} is not shardable; choose from "
+            f"{sorted(SHARD_FIGURES)}") from None
+    return fn().render()
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench shard",
+        description="Regenerate two-node figures with one worker process "
+                    "per node (conservative link-lookahead sync)",
+    )
+    parser.add_argument("figures", nargs="*",
+                        help=f"figure names ({', '.join(sorted(SHARD_FIGURES))}); "
+                             "default: all of them")
+    parser.add_argument("--list", action="store_true",
+                        help="list shardable figures")
+    parser.add_argument("--verify", action="store_true",
+                        help="also run each figure sequentially in-process "
+                             "and fail unless output is byte-identical")
+    parser.add_argument("--timings", action="store_true",
+                        help="report per-figure wall-clock on stderr")
+    args = parser.parse_args(argv)
+    if args.list:
+        print("\n".join(sorted(SHARD_FIGURES)))
+        return 0
+    names = args.figures or sorted(SHARD_FIGURES)
+    for name in names:
+        if name not in SHARD_FIGURES:
+            print(f"unknown/unshardable figure {name!r}", file=sys.stderr)
+            return 2
+    status = 0
+    timings = []
+    for name in names:
+        t0 = time.perf_counter()
+        ev0 = Environment.lifetime_events_processed
+        text = run_shard_figure(name)
+        timings.append((name, time.perf_counter() - t0,
+                        Environment.lifetime_events_processed - ev0))
+        print(text)
+        print()
+        if args.verify:
+            sequential = FIGURES[name]().render()
+            if sequential != text:
+                print(f"[verify] {name}: sharded output DIVERGES from "
+                      "sequential", file=sys.stderr)
+                status = 1
+            else:
+                print(f"[verify] {name}: byte-identical to sequential",
+                      file=sys.stderr)
+    if args.timings:
+        for name, secs, events in timings:
+            print(f"[timing] {name:8s} {secs:7.3f} s  "
+                  f"{events:>10d} events", file=sys.stderr)
+    return status
+
+
+__all__ = [
+    "DuplexStreamScenario",
+    "NetpipeShardScenario",
+    "SHARD_FIGURES",
+    "main",
+    "run_shard_figure",
+    "run_sequential",
+    "run_sharded",
+    "ShardResult",
+]

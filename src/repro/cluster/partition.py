@@ -1,0 +1,126 @@
+"""Topology partitioning for the sharded engine.
+
+A partition assigns every topology *entity* (node or switch) to a
+shard.  The one hard rule: shards may only touch across a
+:class:`~repro.hw.link.Link` with positive propagation delay and no
+fault specification — the propagation delay is the conservative
+lookahead of the border protocol (zero lookahead would force lock-step
+execution), and a cut fault stream would interleave its LCG draws
+differently than the sequential run (each direction of a cut link lives
+in a different worker).
+
+:func:`propose_partition` therefore *contracts* every uncuttable link
+first (union-find), then distributes the resulting components over
+shards greedily by size.  Every cut it proposes is sound by
+construction; :func:`validate_partition` re-checks any assignment
+independently (useful for hand-written partitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import PartitionError
+
+
+@dataclass(frozen=True)
+class TopoLink:
+    """One wire of the abstract topology graph.
+
+    ``a``/``b`` are entity ids (node names, switch names); latency and
+    fault status are all the partitioner needs to know about the link.
+    """
+
+    name: str
+    a: str
+    b: str
+    propagation_ns: int
+    has_faults: bool = False
+
+    @property
+    def cuttable(self) -> bool:
+        return self.propagation_ns > 0 and not self.has_faults
+
+
+def cut_links(links: Iterable[TopoLink],
+              assignment: dict[str, int]) -> list[TopoLink]:
+    """Links whose endpoints land in different shards."""
+    return [l for l in links if assignment[l.a] != assignment[l.b]]
+
+
+def validate_partition(links: Iterable[TopoLink],
+                       assignment: dict[str, int]) -> None:
+    """Raise :class:`PartitionError` unless every cut is a sound border."""
+    for link in links:
+        sa = assignment.get(link.a)
+        sb = assignment.get(link.b)
+        if sa is None or sb is None:
+            missing = link.a if sa is None else link.b
+            raise PartitionError(
+                f"entity {missing!r} of link {link.name!r} has no shard")
+        if sa == sb:
+            continue
+        if link.propagation_ns <= 0:
+            raise PartitionError(
+                f"cut link {link.name!r} has zero propagation: "
+                "no lookahead window across this border")
+        if link.has_faults:
+            raise PartitionError(
+                f"cut link {link.name!r} carries a fault stream: "
+                "its LCG draws would diverge across processes")
+
+
+def propose_partition(entities: Sequence[str], links: Sequence[TopoLink],
+                      nshards: int) -> dict[str, int]:
+    """Assign entities to ``nshards`` shards, cutting only sound links.
+
+    Uncuttable links are contracted so their endpoints stay co-shard;
+    the resulting components are spread greedily (largest first, onto
+    the currently lightest shard).  Deterministic: ties break on the
+    lexicographically smallest member entity and the lowest shard id.
+    Raises if fewer components than shards exist — the caller asked for
+    more parallelism than the topology's sound cuts allow.
+    """
+    if nshards < 1:
+        raise PartitionError(f"need at least one shard, got {nshards}")
+    entities = list(entities)
+    known = set(entities)
+    if len(known) != len(entities):
+        raise PartitionError("duplicate entity ids")
+    parent = {e: e for e in entities}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for link in links:
+        if link.a not in known or link.b not in known:
+            missing = link.a if link.a not in known else link.b
+            raise PartitionError(
+                f"link {link.name!r} references unknown entity {missing!r}")
+        if not link.cuttable:
+            ra, rb = find(link.a), find(link.b)
+            if ra != rb:
+                parent[ra] = rb
+
+    groups: dict[str, list[str]] = {}
+    for e in entities:
+        groups.setdefault(find(e), []).append(e)
+    components = sorted(groups.values(), key=lambda g: (-len(g), min(g)))
+    if len(components) < nshards:
+        raise PartitionError(
+            f"topology has only {len(components)} separable component(s); "
+            f"cannot fill {nshards} shards without cutting a zero-lookahead "
+            "or faulted link")
+
+    loads = [0] * nshards
+    assignment: dict[str, int] = {}
+    for component in components:
+        shard = min(range(nshards), key=lambda s: (loads[s], s))
+        loads[shard] += len(component)
+        for e in component:
+            assignment[e] = shard
+    return assignment

@@ -92,6 +92,18 @@ class Link:
         """Time the wire is occupied sending ``nbytes``."""
         return transfer_time_ns(nbytes, self.params.link_bandwidth)
 
+    def _deliver_at(self, to_end: str, when: int, item: Any) -> None:
+        """Hand ``item`` to the ``to_end`` endpoint at absolute time ``when``.
+
+        The single seam every arrival goes through.  One pre-triggered
+        heap entry instead of a delivery process (start + timeout +
+        completion): same arrival instant, a third of the events on the
+        busiest path in the simulator.  ``repro.sim.border.BorderLink``
+        overrides this to ship the item to another shard when the
+        destination endpoint lives in a different worker process.
+        """
+        self.env.call_at(when, self._ends[to_end], item)
+
     def transmit(self, from_end: str, item: Any, nbytes: int):
         """Generator: send ``item`` of ``nbytes`` from one end to the other.
 
@@ -125,11 +137,7 @@ class Link:
                 self._m_dropped.inc()
                 return
 
-        # One pre-triggered heap entry instead of a delivery process
-        # (start + timeout + completion): same arrival instant, a third
-        # of the events on the busiest path in the simulator.
-        self.env.call_at(self.env.now + self.params.propagation_ns,
-                         deliver, item)
+        self._deliver_at(to_end, self.env.now + self.params.propagation_ns, item)
 
     # -- packet-train fast path -------------------------------------------
 
@@ -193,7 +201,7 @@ class Link:
             raise NetworkError(f"train started on busy direction {direction.name}")
         start = env.now
         self.trains_carried += 1
-        env.call_at(start + per + self.params.propagation_ns, deliver, train)
+        self._deliver_at(to_end, start + per + self.params.propagation_ns, train)
         done = run.limit
         direction.contention_cb = run.notify_contention
         try:
@@ -222,9 +230,9 @@ class Link:
             self._m_busy[dir_key].inc(done * per)
             req.release()
         if done < train.npackets:
-            env.call_at(env.now + self.params.propagation_ns, deliver,
-                        TrainTruncation(train.train_id, done,
-                                        train.src_nic, train.dst_nic))
+            self._deliver_at(to_end, env.now + self.params.propagation_ns,
+                             TrainTruncation(train.train_id, done,
+                                             train.src_nic, train.dst_nic))
         return done
 
     def utilization(self, direction: str = "ab") -> float:

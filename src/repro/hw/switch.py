@@ -44,8 +44,10 @@ class Switch:
         self.crossing_ns = crossing_ns
         self.name = name
         self._links: dict[int, Link] = {}  # node id -> link to that node
-        #: In-flight train transits by train id (truncation routing).
-        self._train_runs: dict[int, TrainRun] = {}
+        #: In-flight train transits keyed ``(src_nic, train_id)`` —
+        #: train ids are only unique per originating process, so a
+        #: sharded fabric needs the source nic to disambiguate.
+        self._train_runs: dict[tuple[int, int], TrainRun] = {}
         #: Optional fault tracer (set by repro.faults.FaultPlan.install).
         self.tracer = None
         # Crossbar accounting on the metrics registry (unregistered
@@ -65,12 +67,24 @@ class Switch:
         Returns ``(link, nic_end)``: the NIC should attach to ``nic_end``
         of the returned link; the switch holds the other end.
         """
+        link = Link(self.env, self.link_params, name=f"{self.name}.l{node_id}")
+        self.attach_port(node_id, link, switch_end="a")
+        return link, "b"
+
+    def attach_port(self, node_id: int, link: Link, switch_end: str = "a") -> None:
+        """Attach an externally built link (e.g. a shard ``BorderLink``)
+        as the port for ``node_id``.
+
+        Egress always drives end ``a``, so ``switch_end`` must be "a";
+        the parameter exists to make the contract explicit at call
+        sites.
+        """
         if node_id in self._links:
             raise NetworkError(f"node {node_id} already attached to {self.name}")
-        link = Link(self.env, self.link_params, name=f"{self.name}.l{node_id}")
-        link.attach("a", self._make_ingress(node_id))
+        if switch_end != "a":
+            raise NetworkError(f"switch must hold end 'a', got {switch_end!r}")
+        link.attach(switch_end, self._make_ingress(node_id))
         self._links[node_id] = link
-        return link, "b"
 
     def _make_ingress(self, from_node: int):
         def ingress(msg: Any) -> None:
@@ -81,7 +95,7 @@ class Switch:
                 # Consumed here: downstream either sees our own notice
                 # (analytic hold cut short) or simply never sees the
                 # cancelled per-packet forwards.
-                run = self._train_runs.pop(msg.train_id, None)
+                run = self._train_runs.pop((msg.src_nic, msg.train_id), None)
                 if run is not None:
                     run.truncate(msg.npackets)
             else:
@@ -124,7 +138,7 @@ class Switch:
 
     def _ingress_train(self, from_node: int, train: PacketTrain) -> None:
         run = TrainRun(train.npackets)
-        self._train_runs[train.train_id] = run
+        self._train_runs[(train.src_nic, train.train_id)] = run
         in_link = self._links[from_node]
         self.env.process(self._forward_train(train, run, in_link),
                          name=f"{self.name}.fwd")
@@ -153,7 +167,7 @@ class Switch:
             else:
                 # Complete, or cut short by an upstream truncation whose
                 # notice already left the registry.
-                self._train_runs.pop(train.train_id, None)
+                self._train_runs.pop((train.src_nic, train.train_id), None)
             return
         obs.counter("net.train_decoalesce",
                     where=self.name, reason=reason).inc()
@@ -177,7 +191,8 @@ class Switch:
         # Registry cleanup after the last packet could have fired: any
         # truncation notice provably arrives earlier.
         last = arrival + (train.npackets - 1) * per_in + cross
-        entries.append((last, self._train_runs.pop, (train.train_id, None)))
+        entries.append((last, self._train_runs.pop,
+                        ((train.src_nic, train.train_id), None)))
         self.env.schedule_bulk(entries)
 
     def _frag_of(self, train: PacketTrain) -> Message:

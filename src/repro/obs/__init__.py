@@ -46,9 +46,11 @@ from .registry import (
     histogram,
     install_registry,
     installed_registry,
+    merge_snapshots,
     metric_key,
     metrics_enabled,
     register_collector,
+    snapshot_to_json,
     uninstall_registry,
 )
 from .timeline import (
@@ -86,9 +88,11 @@ __all__ = [
     "install_timeline",
     "installed_registry",
     "instant",
+    "merge_snapshots",
     "metric_key",
     "metrics_enabled",
     "register_collector",
+    "snapshot_to_json",
     "span_begin",
     "span_end",
     "timeline_enabled",

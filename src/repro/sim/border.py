@@ -1,0 +1,218 @@
+"""Shard borders: a Link whose far endpoint lives in another process.
+
+The sharded engine (:mod:`repro.sim.shard`) partitions a cluster so
+that shards touch only across :class:`~repro.hw.link.Link` wires.  The
+wire is the one place in the simulator with a guaranteed minimum delay
+between cause (transmission) and effect (delivery): the link's
+``propagation_ns``.  That delay is the *conservative lookahead* — a
+shard that has simulated up to time ``t`` cannot affect a neighbour
+before ``t + propagation_ns``, so neighbours may safely run that far
+ahead (FireSim applies the same token-per-link-latency idea between
+distributed FPGA simulators).
+
+Two pieces live here:
+
+* :class:`BorderLink` — a ``Link`` subclass for a cut wire.  The local
+  endpoint (NIC or switch port) attaches normally; the remote end is a
+  stub.  Serialization, wire accounting, tracing and fault filtering
+  all run locally exactly as on an ordinary link; only the final
+  delivery hop is overridden (:meth:`Link._deliver_at`) to ship the
+  item — with its absolute arrival timestamp — across a
+  ``multiprocessing`` pipe instead of scheduling it on the local heap.
+  Shipping at *emission* time rather than arrival time preserves the
+  full propagation window as usable lookahead.
+
+* :class:`BorderEnd` — the per-border runtime state: outbox of shipped
+  items, staged inbox of received ones, and the two horizon counters of
+  the null-token protocol.  ``("i", when, item)`` messages carry wire
+  items; ``("h", horizon)`` messages are the null tokens ("I will not
+  deliver anything to you before ``horizon``"); ``("m",)`` is a drain
+  marker used by phase barriers.  Tokens are monotone, and a receiver
+  only processes events *strictly before* its granted horizon, so an
+  item arriving exactly at the horizon can never be missed.
+
+Everything that crosses the pipe is plain picklable data: ``Message``,
+``PacketTrain`` and ``TrainTruncation`` descriptors, with payloads
+materialized chunk-by-chunk by :meth:`PayloadRef.__reduce__` (chunk
+structure is preserved so the receiver's scatter-write op counts match
+the sequential run byte-for-byte).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..errors import NetworkError, SimulationError
+from ..hw.link import Link
+from ..hw.params import LinkParams
+from .engine import Environment
+
+
+def _remote_stub(item: Any) -> None:  # pragma: no cover - never invoked
+    raise SimulationError("remote border endpoint invoked locally")
+
+
+class BorderEnd:
+    """One shard's half of a cut link: pipe, queues, horizons."""
+
+    def __init__(self, conn, name: str, index: int, lookahead_ns: int):
+        if lookahead_ns <= 0:
+            raise SimulationError(
+                f"border {name!r} needs positive lookahead, got {lookahead_ns}"
+            )
+        self.conn = conn
+        self.name = name
+        #: Stable commit-order index (sorted border names within the
+        #: shard) so same-timestamp arrivals from different borders are
+        #: inserted deterministically.
+        self.index = index
+        self.lookahead_ns = lookahead_ns
+        #: Latest horizon granted *to us* by the peer: we may process
+        #: events strictly below it.
+        self.horizon = 0
+        #: Latest horizon we granted the peer (tokens must be monotone).
+        self.granted = 0
+        #: Items shipped by the local link this window: (when, item).
+        self._outbox: list[tuple[int, Any]] = []
+        #: Received, not-yet-committed arrivals: (when, rx_seq, item).
+        self._staged: list[tuple[int, int, Any]] = []
+        self._rx_seq = 0
+        self._mark_seen = False
+        #: Wire items sent/received over the border (termination check).
+        self.sent = 0
+        self.received = 0
+        #: Local delivery callback, set by BorderLink.
+        self.deliver: Optional[Callable[[Any], None]] = None
+
+    # -- outbound ---------------------------------------------------------
+
+    def ship(self, when: int, item: Any) -> None:
+        """Queue ``item`` for delivery at absolute peer time ``when``."""
+        self._outbox.append((when, item))
+
+    def flush(self) -> None:
+        """Send queued items.  Must precede :meth:`grant` — the pipe is
+        FIFO, so a grant is only read after every item it vouches for."""
+        if self._outbox:
+            send = self.conn.send
+            for when, item in self._outbox:
+                send(("i", when, item))
+            self.sent += len(self._outbox)
+            self._outbox.clear()
+
+    def grant(self, horizon: int) -> None:
+        """Send a null token if it improves on the last one."""
+        if horizon > self.granted:
+            self.granted = horizon
+            self.conn.send(("h", horizon))
+
+    # -- inbound ----------------------------------------------------------
+
+    def pump(self) -> bool:
+        """Drain everything currently readable; True if anything arrived."""
+        got = False
+        conn = self.conn
+        while conn.poll():
+            self._dispatch(conn.recv())
+            got = True
+        return got
+
+    def _dispatch(self, msg: tuple) -> None:
+        tag = msg[0]
+        if tag == "i":
+            self._rx_seq += 1
+            self._staged.append((msg[1], self._rx_seq, msg[2]))
+            self.received += 1
+        elif tag == "h":
+            if msg[1] > self.horizon:
+                self.horizon = msg[1]
+        elif tag == "m":
+            self._mark_seen = True
+        else:  # pragma: no cover - protocol corruption
+            raise SimulationError(f"unknown border message {msg!r}")
+
+    def staged_min(self) -> Optional[int]:
+        """Earliest staged arrival time, or None."""
+        return min(t for t, _, _ in self._staged) if self._staged else None
+
+    def has_staged(self) -> bool:
+        return bool(self._staged)
+
+    def take_due(self, limit: int) -> list[tuple[int, int, Any]]:
+        """Remove and return staged arrivals strictly below ``limit``."""
+        if not self._staged:
+            return []
+        due = [e for e in self._staged if e[0] < limit]
+        if due:
+            self._staged = [e for e in self._staged if e[0] >= limit]
+        return due
+
+    # -- barrier support --------------------------------------------------
+
+    def send_mark(self) -> None:
+        self.conn.send(("m",))
+
+    def drain_to_mark(self) -> None:
+        """Blocking-read until the peer's drain marker.
+
+        Called at a phase barrier, when the coordinator has verified
+        that no wire items are in flight; anything still in the pipe is
+        a stale null token (or the marker itself).
+        """
+        while not self._mark_seen:
+            self._dispatch(self.conn.recv())
+        self._mark_seen = False
+
+    def reset_horizons(self, horizon: int) -> None:
+        """Re-base both horizons after a barrier.
+
+        Idle null-token exchange inflates horizons without bound; a
+        barrier invalidates them (new work appears at the resume time),
+        so both sides overwrite rather than max."""
+        self.horizon = horizon
+        self.granted = horizon
+
+    def counts(self) -> tuple[int, int]:
+        return (self.sent, self.received)
+
+
+class BorderLink(Link):
+    """A ``Link`` whose remote endpoint lives in a neighbouring shard.
+
+    The constructor takes which end is local; the other end gets a stub
+    so ``transmit``'s attachment check passes.  All outbound deliveries
+    to the remote end are diverted into the border's outbox with their
+    absolute arrival timestamps; inbound items from the peer are
+    committed onto the local heap by the shard runner and delivered
+    through the normal local endpoint callback.
+    """
+
+    def __init__(self, env: Environment, params: LinkParams, border: BorderEnd,
+                 local_end: str = "a", name: str = "link"):
+        if local_end not in ("a", "b"):
+            raise NetworkError(f"link end must be 'a' or 'b', got {local_end!r}")
+        if params.propagation_ns <= 0:
+            raise NetworkError(
+                f"border link {name!r} needs propagation > 0 for lookahead"
+            )
+        super().__init__(env, params, name)
+        self.local_end = local_end
+        self.remote_end = "b" if local_end == "a" else "a"
+        self.border = border
+        self._ends[self.remote_end] = _remote_stub
+        border.deliver = self._deliver_local
+        border.lookahead_ns = params.propagation_ns
+
+    def _deliver_local(self, item: Any) -> None:
+        deliver = self._ends[self.local_end]
+        if deliver is None:  # pragma: no cover - misassembled topology
+            raise NetworkError(
+                f"border link {self.name!r} has no local endpoint attached"
+            )
+        deliver(item)
+
+    def _deliver_at(self, to_end: str, when: int, item: Any) -> None:
+        if to_end == self.remote_end:
+            self.border.ship(when, item)
+        else:
+            super()._deliver_at(to_end, when, item)

@@ -349,6 +349,12 @@ class _Call(Event):
 class Environment:
     """The simulation world: clock, event queues, and process factory."""
 
+    #: Events dispatched by *all* environments in this process since
+    #: import.  ``run``/``step``/``run_window`` flush into it alongside
+    #: the per-instance counter; the bench runner reads deltas around a
+    #: figure (which may build several environments) for ``--timings``.
+    lifetime_events_processed: int = 0
+
     def __init__(self):
         self._now: int = 0
         self._heap: list[tuple[int, int, Event]] = []
@@ -461,6 +467,7 @@ class Environment:
         else:
             raise SimulationError("step() on an empty event queue")
         self.events_processed += 1
+        Environment.lifetime_events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None
@@ -509,6 +516,7 @@ class Environment:
                         fn(event)
             finally:
                 self.events_processed += n
+                Environment.lifetime_events_processed += n
 
         if isinstance(until, Event):
             target = until
@@ -532,6 +540,7 @@ class Environment:
                         fn(event)
             finally:
                 self.events_processed += n
+                Environment.lifetime_events_processed += n
             if target.ok:
                 return target.value
             raise target.value
@@ -557,8 +566,68 @@ class Environment:
                     fn(event)
         finally:
             self.events_processed += n
+            Environment.lifetime_events_processed += n
         self._now = deadline
         return None
+
+    def run_window(self, limit: int) -> int:
+        """Process every queued event *strictly before* ``limit``.
+
+        The sharded engine's inner loop: a shard granted horizon ``H``
+        by its neighbours may only consume events with ``t < H`` — an
+        event at exactly ``H`` could still be preempted by a cross-shard
+        arrival at ``H`` (border grants are lower bounds with equality
+        possible).  Unlike ``run(until=limit)`` the clock is **not**
+        advanced to ``limit`` afterwards: it stays at the last processed
+        event so later arrivals in ``[now, limit)``-adjacent windows can
+        still be committed with ``schedule_bulk``.  Returns the number
+        of events processed in this window.
+        """
+        heap = self._heap
+        imm = self._immediate
+        pop = heapq.heappop
+        n = 0
+        try:
+            while True:
+                # Immediates only exist at the current time, and the
+                # current time is only reached by processing an event
+                # strictly below ``limit`` — so ``imm`` non-empty
+                # implies ``now < limit`` except at the very first
+                # window, which the explicit check covers.
+                if heap and heap[0][0] == self._now and self._now < limit:
+                    event = pop(heap)[2]
+                elif imm and self._now < limit:
+                    event = imm.popleft()
+                elif heap and heap[0][0] < limit:
+                    when, _, event = pop(heap)
+                    self._now = when
+                else:
+                    break
+                n += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for fn in callbacks:
+                    fn(event)
+        finally:
+            self.events_processed += n
+            Environment.lifetime_events_processed += n
+        return n
+
+    def advance_to(self, when: int) -> None:
+        """Jump the clock forward over a provably idle span.
+
+        Used by shard workers at a phase barrier: every shard reports
+        quiescence, the coordinator picks the global resume time, and
+        each worker fast-forwards to it.  Refuses to skip over pending
+        work — the span must genuinely be empty.
+        """
+        if when < self._now:
+            raise SimulationError(f"advance_to({when}) is in the past (now {self._now})")
+        if self._immediate or (self._heap and self._heap[0][0] < when):
+            raise SimulationError(
+                f"advance_to({when}) would skip over pending events (now {self._now})"
+            )
+        self._now = when
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next queued event, or None if queues are empty."""

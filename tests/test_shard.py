@@ -1,0 +1,393 @@
+"""Sharded engine: borders, partitioning, and byte-identity vs sequential.
+
+The hard requirement of the sharded engine is that splitting a topology
+across worker processes is *unobservable*: figures, metrics snapshots
+and fault traces must come out byte-identical to the single-process
+run.  These tests exercise the protocol pieces in isolation (BorderEnd,
+BorderLink, the partitioner) and then the whole machinery end-to-end
+against :func:`repro.sim.shard.run_sequential`.
+"""
+
+import multiprocessing
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro import obs
+from repro.bench.figures import FIGURES
+from repro.bench.shard import (
+    DuplexStreamScenario,
+    NetpipeShardScenario,
+    SHARD_FIGURES,
+)
+from repro.bench.transports import GmUserTransport
+from repro.cluster import (
+    Node,
+    TopoLink,
+    cut_links,
+    propose_partition,
+    validate_partition,
+)
+from repro.errors import NetworkError, PartitionError, ShardError, SimulationError
+from repro.faults import FaultPlan
+from repro.hw.params import HostParams, NicParams, PCI_XD
+from repro.hw.switch import Switch
+from repro.sim import Environment
+from repro.sim.border import BorderEnd, BorderLink
+from repro.sim.shard import merge_trace_records, run_sequential, run_sharded
+from repro.sim.trace import render_trace
+from repro.units import KiB
+
+
+# -- BorderEnd: the null-token protocol state machine -------------------------
+
+
+def _pipe_pair(lookahead=500):
+    c0, c1 = multiprocessing.Pipe()
+    return (BorderEnd(c0, "w", 0, lookahead), BorderEnd(c1, "w", 0, lookahead))
+
+
+def test_border_ship_flush_take_due():
+    a, b = _pipe_pair()
+    a.ship(100, "x")
+    a.ship(250, "y")
+    assert b.pump() is False          # nothing sent yet
+    a.flush()
+    assert a.sent == 2
+    assert b.pump() is True
+    assert b.received == 2
+    assert b.staged_min() == 100
+    # strictly-below semantics: an item AT the limit stays staged
+    assert b.take_due(100) == []
+    due = b.take_due(251)
+    assert [(t, item) for t, _seq, item in due] == [(100, "x"), (250, "y")]
+    # rx_seq preserves arrival order for same-timestamp determinism
+    assert [seq for _t, seq, _i in due] == [1, 2]
+    assert not b.has_staged()
+
+
+def test_border_grants_are_monotone():
+    a, b = _pipe_pair()
+    a.grant(600)
+    a.grant(400)                      # stale: must not be sent
+    a.grant(600)                      # duplicate: must not be sent
+    b.pump()
+    assert b.horizon == 600
+    a.grant(900)
+    b.pump()
+    assert b.horizon == 900
+
+
+def test_border_flush_before_grant_orders_pipe():
+    # A grant vouches for every item before it: FIFO pipe + flush-first
+    # means the receiver can never see the horizon without the items.
+    a, b = _pipe_pair()
+    a.ship(120, "x")
+    a.flush()
+    a.grant(700)
+    b.pump()
+    assert b.horizon == 700
+    assert b.staged_min() == 120
+
+
+def test_border_mark_and_reset():
+    a, b = _pipe_pair()
+    a.grant(5_000)
+    a.send_mark()
+    b.drain_to_mark()                 # consumes the stale token + mark
+    assert b.horizon == 5_000
+    b.reset_horizons(1_000)
+    assert b.horizon == 1_000
+    assert b.granted == 1_000
+    b.grant(900)                      # below re-base: suppressed
+    assert not a.conn.poll()
+
+
+def test_border_rejects_zero_lookahead():
+    c0, _c1 = multiprocessing.Pipe()
+    with pytest.raises(SimulationError):
+        BorderEnd(c0, "w", 0, 0)
+
+
+# -- BorderLink: the cut wire -------------------------------------------------
+
+
+def test_border_link_ships_at_absolute_arrival_time():
+    env = Environment()
+    c0, _c1 = multiprocessing.Pipe()
+    border = BorderEnd(c0, "wire", 0, PCI_XD.propagation_ns)
+    link = BorderLink(env, PCI_XD, border, local_end="a", name="wire")
+    got = []
+    link.attach("a", got.append)
+
+    class Item:
+        nbytes = 4096
+
+    env.run(until=env.process(link.transmit("a", Item(), 4096)))
+    # one item in the outbox, timestamped serialization + propagation
+    assert len(border._outbox) == 1
+    when, item = border._outbox[0]
+    assert when == env.now + PCI_XD.propagation_ns
+    # inbound deliveries go through the normal local endpoint
+    border.deliver("pong")
+    assert got == ["pong"]
+
+
+def test_border_link_rejects_zero_propagation():
+    import dataclasses
+
+    env = Environment()
+    c0, _c1 = multiprocessing.Pipe()
+    flat = dataclasses.replace(PCI_XD, propagation_ns=0)
+    with pytest.raises(NetworkError):
+        BorderLink(env, flat,
+                   BorderEnd(c0, "wire", 0, 500), local_end="a", name="wire")
+
+
+# -- partitioner: every proposed cut is a sound border ------------------------
+
+
+_topologies = st.integers(2, 8).flatmap(
+    lambda n: st.tuples(
+        st.just([f"e{i}" for i in range(n)]),
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.sampled_from([0, 1, 500, 50_000]),
+                st.booleans(),
+            ),
+            max_size=12,
+        ),
+    )
+)
+
+
+@given(topo=_topologies, nshards=st.integers(1, 4))
+@settings(max_examples=200, deadline=None)
+def test_propose_partition_cuts_only_sound_links(topo, nshards):
+    entities, raw = topo
+    links = [
+        TopoLink(f"l{i}", entities[a], entities[b], prop, has_faults=faulty)
+        for i, (a, b, prop, faulty) in enumerate(raw)
+    ]
+    try:
+        assignment = propose_partition(entities, links, nshards)
+    except PartitionError:
+        return  # topology has fewer sound components than shards
+    assert set(assignment) == set(entities)
+    assert set(assignment.values()) <= set(range(nshards))
+    validate_partition(links, assignment)          # raises on unsound cut
+    for link in cut_links(links, assignment):
+        assert link.cuttable
+        assert link.propagation_ns > 0
+        assert not link.has_faults
+    # deterministic: same inputs, same assignment
+    assert propose_partition(entities, links, nshards) == assignment
+
+
+def test_propose_partition_contracts_uncuttable_links():
+    entities = ["a", "b", "c", "d"]
+    links = [
+        TopoLink("ab", "a", "b", 0),               # zero lookahead
+        TopoLink("cd", "c", "d", 500, has_faults=True),
+        TopoLink("bc", "b", "c", 500),             # the only sound cut
+    ]
+    assignment = propose_partition(entities, links, 2)
+    assert assignment["a"] == assignment["b"]
+    assert assignment["c"] == assignment["d"]
+    assert assignment["b"] != assignment["c"]
+    with pytest.raises(PartitionError):
+        propose_partition(entities, links, 3)      # only 2 components
+
+
+def test_validate_partition_rejects_unsound_cuts():
+    links = [TopoLink("ab", "a", "b", 0)]
+    with pytest.raises(PartitionError):
+        validate_partition(links, {"a": 0, "b": 1})
+    links = [TopoLink("ab", "a", "b", 500, has_faults=True)]
+    with pytest.raises(PartitionError):
+        validate_partition(links, {"a": 0, "b": 1})
+    with pytest.raises(PartitionError):
+        validate_partition(links, {"a": 0})        # missing entity
+    validate_partition(links, {"a": 0, "b": 0})    # co-shard: fine
+
+
+# -- end-to-end byte-identity -------------------------------------------------
+
+
+def test_sharded_figure_identical_to_sequential_driver():
+    # The real fig4a driver vs the forked 2-shard run: same rendered
+    # table, byte for byte.
+    assert SHARD_FIGURES["fig4a"]().render() == FIGURES["fig4a"]().render()
+
+
+def test_sharded_bandwidth_series_with_trains_identical():
+    # Large messages engage the packet-train fast path; trains and
+    # truncations must survive the pipe crossing unchanged.
+    scenario = NetpipeShardScenario(
+        transport="gm_kernel_physical", sizes=(256 * KiB,),
+        metric="bandwidth", rounds=2)
+    sharded = run_sharded(scenario)
+    sequential = run_sequential(scenario)
+    assert sharded.payloads[0]["series"] == sequential.payloads[0][0]["series"]
+    assert sharded.now == sequential.now
+    assert sharded.events_processed == sequential.events_processed
+
+
+def test_sharded_duplex_identical_to_sequential():
+    scenario = DuplexStreamScenario(size=16 * KiB, count=6, pairs=2)
+    sharded = run_sharded(scenario)
+    sequential = run_sequential(scenario)
+    assert sharded.now == sequential.now
+    assert sharded.events_processed == sequential.events_processed
+    assert sharded.payloads == [sequential.payloads[0][sid]
+                                for sid in range(scenario.nshards)]
+
+
+def test_obs_snapshot_merge_matches_single_process():
+    scenario = NetpipeShardScenario(
+        transport="gm_user", sizes=(4096,), metric="latency_us",
+        rounds=2, observe=True)
+    sharded = run_sharded(scenario)
+    sequential = run_sequential(scenario)
+    merged = sharded.merged_metrics()
+    single = sequential.shards[0]["metrics"]
+    assert obs.snapshot_to_json(merged) == obs.snapshot_to_json(single)
+
+
+# -- fault streams across a sharded star topology -----------------------------
+
+
+class StarFaultScenario:
+    """Star cluster cut at one spoke: switch + node0 + node1 in shard 0,
+    node2 alone in shard 1.  A seeded drop stream runs on ``star.l0``
+    (wholly inside shard 0 — the partitioner forbids faulted cuts) while
+    ping-pong traffic flows both within shard 0 and across the border.
+    """
+
+    observe = False
+    nshards = 2
+    nphases = 2
+
+    def __init__(self, seed=3, rounds=6, size=8 * KiB):
+        self.seed = seed
+        self.rounds = rounds
+        self.size = size
+
+    def borders(self):
+        return [("star.l2", 0, 1)]
+
+    def _plan(self):
+        plan = FaultPlan(seed=self.seed)
+        records = plan.tracer.record_everything()
+        plan.drop("star.l0", 0.25)
+        return plan, records
+
+    def build(self, shard_id, env, hub):
+        plan, records = self._plan()
+        params = HostParams(nic=NicParams(link=PCI_XD))
+        if shard_id == 0:
+            switch = Switch(env, PCI_XD, name="star")
+            nodes = []
+            for nid in (0, 1):
+                node = Node(env, nid, params, name=f"node{nid}")
+                uplink, end = switch.add_node(nid)
+                node.nic.attach_link(uplink, end)
+                nodes.append(node)
+            wire = hub.border_link("star.l2", PCI_XD, local_end="a")
+            switch.attach_port(2, wire, "a")
+            plan.install(env, nodes=nodes, switches=[switch])
+            transports = [
+                GmUserTransport(nodes[0], 1, peer_node=1, peer_port=1),
+                GmUserTransport(nodes[1], 1, peer_node=0, peer_port=1),
+                GmUserTransport(nodes[1], 2, peer_node=2, peer_port=2),
+            ]
+        else:
+            node = Node(env, 2, params, name="node2")
+            wire = hub.border_link("star.l2", PCI_XD, local_end="b")
+            node.nic.attach_link(wire, "b")
+            plan.install(env, nodes=[node])
+            transports = [GmUserTransport(node, 2, peer_node=1, peer_port=2)]
+        return {"records": records, "transports": transports}
+
+    def phase(self, shard_id, k, env, ctx):
+        ts = ctx["transports"]
+        if k == 0:
+            return [t.prepare(self.size) for t in ts]
+        if shard_id == 0:
+            return [self._client(ts[0]), self._responder(ts[1]),
+                    self._client(ts[2])]
+        return [self._responder(ts[0])]
+
+    def _client(self, t):
+        for i in range(self.rounds):
+            yield from t.send(self.size, match=i)
+            yield from t.recv(self.size)
+
+    def _responder(self, t):
+        for i in range(self.rounds):
+            yield from t.recv(self.size)
+            yield from t.send(self.size, match=i)
+
+    def result(self, shard_id, env, ctx):
+        return {"records": list(ctx["records"]), "now": env.now}
+
+
+def test_fault_trace_identical_across_sharded_star():
+    scenario = StarFaultScenario()
+    sharded = run_sharded(scenario)
+    sequential = run_sequential(scenario)
+    assert sharded.now == sequential.now
+    sh_trace = render_trace(merge_trace_records(
+        [sharded.payloads[sid]["records"] for sid in range(2)]))
+    seq_trace = render_trace(merge_trace_records(
+        [sequential.payloads[0][sid]["records"] for sid in range(2)]))
+    assert "fault.drop" in seq_trace      # the stream actually fired
+    assert sh_trace == seq_trace
+
+
+# -- failure handling ---------------------------------------------------------
+
+
+class _BoomScenario:
+    observe = False
+    nshards = 2
+    nphases = 1
+
+    def borders(self):
+        return [("wire", 0, 1)]
+
+    def build(self, shard_id, env, hub):
+        hub.border_link("wire", PCI_XD,
+                        local_end="a" if shard_id == 0 else "b")
+        if shard_id == 1:
+            raise RuntimeError("boom in worker build")
+        return {}
+
+    def phase(self, shard_id, k, env, ctx):
+        return []
+
+    def result(self, shard_id, env, ctx):
+        return None
+
+
+def test_worker_exception_surfaces_as_shard_error():
+    with pytest.raises(ShardError, match="boom in worker build"):
+        run_sharded(_BoomScenario())
+
+
+class _UndeclaredBorderScenario(_BoomScenario):
+    def build(self, shard_id, env, hub):
+        if shard_id == 0:
+            hub.border_link("wire", PCI_XD, local_end="a")
+            hub.border_link("ghost", PCI_XD, local_end="a")
+        else:
+            hub.border_link("wire", PCI_XD, local_end="b")
+        return {}
+
+
+def test_undeclared_border_is_rejected():
+    with pytest.raises(ShardError, match="ghost"):
+        run_sharded(_UndeclaredBorderScenario())

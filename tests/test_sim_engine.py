@@ -467,3 +467,146 @@ def test_determinism_two_identical_runs():
         return trace
 
     assert build() == build()
+
+
+# -- call_at / schedule_bulk ordering edge cases ------------------------------
+
+
+def test_call_at_now_queues_after_due_heap_entries():
+    # A call_at(now) lands on the immediate FIFO, which drains *after*
+    # heap entries already due at the current timestamp.
+    env = Environment()
+    log = []
+
+    def kick(env):
+        yield env.timeout(5)
+        env.call_at(env.now, log.append, "immediate")
+
+    def also_at_5(env):
+        yield env.timeout(5)
+        log.append("heap")
+
+    env.process(kick(env))
+    env.process(also_at_5(env))
+    env.run()
+    assert log == ["heap", "immediate"]
+
+
+def test_call_at_past_rejected():
+    env = Environment()
+    env.run(until=10)
+    with pytest.raises(SimulationError):
+        env.call_at(9, lambda: None)
+
+
+def test_schedule_bulk_same_timestamp_order_matches_call_at():
+    # Same-timestamp bulk entries must fire in entry order, exactly as
+    # a call_at-per-entry loop would.
+    def run(bulk):
+        env = Environment()
+        log = []
+        entries = [(20, log.append, ("a",)), (10, log.append, ("b",)),
+                   (20, log.append, ("c",)), (10, log.append, ("d",))]
+        if bulk:
+            env.schedule_bulk(entries)
+        else:
+            for when, fn, args in entries:
+                env.call_at(when, fn, *args)
+        env.run()
+        return log
+
+    assert run(bulk=True) == run(bulk=False) == ["b", "d", "a", "c"]
+
+
+def test_schedule_bulk_interleaves_with_call_at_by_seq_order():
+    # Bulk entries at a timestamp where events already exist fire after
+    # the earlier-scheduled ones and before later-scheduled ones —
+    # global sequence order, exactly like interleaved call_at calls.
+    env = Environment()
+    log = []
+    env.call_at(30, log.append, "before")
+    env.schedule_bulk([(30, log.append, ("bulk",))])
+    env.call_at(30, log.append, "after")
+    env.run()
+    assert log == ["before", "bulk", "after"]
+
+
+def test_schedule_bulk_now_entries_join_immediate_fifo():
+    # when == now entries append to the immediate queue *behind* events
+    # already queued there.
+    env = Environment()
+    log = []
+    first = env.event()
+    first.callbacks.append(lambda _e: log.append("pre"))
+    first.succeed()                               # queued as immediate
+    env.schedule_bulk([(0, log.append, ("bulk-now",)),
+                       (0, log.append, ("bulk-now-2",))])
+    env.run()
+    assert log == ["pre", "bulk-now", "bulk-now-2"]
+
+
+def test_schedule_bulk_past_rejected():
+    env = Environment()
+    env.run(until=50)
+    with pytest.raises(SimulationError):
+        env.schedule_bulk([(49, (lambda: None), ())])
+
+
+def test_schedule_bulk_heapify_path_matches_push_path():
+    # Large batch (heapify) vs tiny batches (per-entry push) must yield
+    # identical firing order.
+    def run(batched):
+        env = Environment()
+        log = []
+        entries = [((i * 37) % 11 + 1, log.append, (i,)) for i in range(64)]
+        if batched:
+            env.schedule_bulk(entries)
+        else:
+            for entry in entries:
+                env.schedule_bulk([entry])
+        env.run()
+        return log
+
+    assert run(batched=True) == run(batched=False)
+
+
+# -- run_window / advance_to (sharded-engine building blocks) -----------------
+
+
+def test_run_window_processes_strictly_below_limit():
+    env = Environment()
+    log = []
+    for when in (10, 20, 30):
+        env.call_at(when, log.append, when)
+    n = env.run_window(30)
+    assert n == 2
+    assert log == [10, 20]
+    assert env.now == 20              # clock NOT advanced to the limit
+    assert env.peek() == 30
+
+
+def test_run_window_drains_immediates_inside_window():
+    env = Environment()
+    log = []
+
+    def chain():
+        log.append("a")
+        env.call_at(env.now, log.append, "b")
+
+    env.call_at(5, chain)
+    env.run_window(6)
+    assert log == ["a", "b"]
+
+
+def test_advance_to_moves_idle_clock_only():
+    env = Environment()
+    env.run_window(100)
+    env.advance_to(80)
+    assert env.now == 80
+    with pytest.raises(SimulationError):
+        env.advance_to(79)            # backwards
+    env.call_at(90, lambda: None)
+    with pytest.raises(SimulationError):
+        env.advance_to(95)            # would skip a queued event
+    env.advance_to(90)                # exactly at the event is fine
+    assert env.now == 90
