@@ -92,6 +92,13 @@ def main(argv: list[str] | None = None) -> int:
         from .faults import main as faults_main
 
         return faults_main(argv[1:])
+    if argv and argv[0] == "replica":
+        # Replicated-volume chaos matrix: failover latency and
+        # linearizability verdicts.  Also deliberately not part of
+        # ``all`` (same figure-identity argument as ``faults``).
+        from .replica import main as replica_main
+
+        return replica_main(argv[1:])
     if argv and argv[0] == "shard":
         # Sharded execution of the two-node figures: one worker process
         # per node, synchronised by the wire's propagation lookahead.

@@ -194,10 +194,18 @@ class Einval(FsError):
 class Eio(FsError):
     """I/O error: the storage/file client exhausted its retry budget
     (lost replies, crashed server) and surfaces the failure to the VFS
-    instead of hanging forever."""
+    instead of hanging forever.
 
-    def __init__(self, message: str = ""):
+    ``reason`` names which failure path fired so callers can choose a
+    recovery: ``"timeout"`` (replies never came — the same server may
+    still answer a retry), ``"dead_peer"`` (the fabric's reliability
+    layer declared the peer unreachable — fail over, do not retry the
+    same server) or ``"network"`` (other fabric errors).
+    """
+
+    def __init__(self, message: str = "", reason: str = ""):
         super().__init__("EIO", message)
+        self.reason = reason
 
 
 # -- protocol / sockets ------------------------------------------------------

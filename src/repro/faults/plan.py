@@ -205,6 +205,9 @@ class FaultPlan:
         self._specs: dict[str, LinkFaultSpec] = {}
         self._resets: list[tuple[int, int]] = []  # (at_ns, node_id)
         self._crashes: list[tuple[int, int]] = []
+        #: (link, first_down_ns, down_ns, up_ns, count) flap trains, kept
+        #: for the one-shot trace announcement at install time.
+        self._flaps: list[tuple[str, int, int, int, int]] = []
         self.injectors: dict[str, LinkFaultInjector] = {}
         self._installed = False
 
@@ -246,6 +249,33 @@ class FaultPlan:
         if end_ns <= start_ns:
             raise ValueError(f"empty down window [{start_ns}, {end_ns})")
         self._spec(link_name).down_windows.append((start_ns, end_ns))
+        return self
+
+    def link_flap(self, link_name: str, first_down_ns: int, down_ns: int,
+                  up_ns: int, count: int) -> "FaultPlan":
+        """Schedule a deterministic down/up *train*: ``count`` outages of
+        ``down_ns`` each, separated by ``up_ns`` of restored carrier,
+        the first starting at ``first_down_ns``.
+
+        Unlike probabilistic drops this scripts an exact partition
+        timeline, so failover tests can pin a flap against a protocol
+        phase.  Each outage is an ordinary down window (rendered as
+        ``fault.link_down``/``fault.link_up`` pairs in the trace); the
+        train itself is announced once as ``fault.link_flap``.
+        """
+        if down_ns <= 0:
+            raise ValueError(f"flap down time must be positive, got {down_ns}")
+        if up_ns <= 0:
+            raise ValueError(f"flap up time must be positive, got {up_ns}")
+        if count < 1:
+            raise ValueError(f"flap count must be >= 1, got {count}")
+        if first_down_ns < 0:
+            raise ValueError(f"flap start must be >= 0, got {first_down_ns}")
+        start = first_down_ns
+        for _ in range(count):
+            self._spec(link_name).down_windows.append((start, start + down_ns))
+            start += down_ns + up_ns
+        self._flaps.append((link_name, first_down_ns, down_ns, up_ns, count))
         return self
 
     def nic_reset(self, node_id: int, at_ns: int) -> "FaultPlan":
@@ -296,6 +326,11 @@ class FaultPlan:
             switch.tracer = self.tracer
             for link in switch._links.values():
                 all_links[id(link)] = link
+        for link_name, first_down, down, up, count in self._flaps:
+            self.tracer.emit(0, "fault", "link_flap", {
+                "link": link_name, "first_down_ns": first_down,
+                "down_ns": down, "up_ns": up, "count": count,
+            })
         wildcard = self._specs.get("*", LinkFaultSpec())
         for link in all_links.values():
             spec = self._specs.get(link.name, LinkFaultSpec()).merged(wildcard)

@@ -98,9 +98,11 @@ class Message:
     # Reliable-delivery fields (all inert unless a fault plan enabled
     # the reliability sublayer; see _ReliableDelivery).
     seq: int = 0  # per-(src,dst)-peer sequence number; 0 = unsequenced
-    epoch: int = 0  # sender session number; bumped by NIC reset/crash
+    epoch: int = 0  # sender's tx *session* toward this peer (monotonic)
+    inc: int = 0  # sender's node incarnation; bumped by NIC reset/crash
     ack: int = 0  # piggybacked cumulative ack for the reverse direction
     ack_epoch: int = 0  # session the ack refers to (stale acks are ignored)
+    dst_epoch: int = 0  # receiver incarnation the sender believes it talks to
     corrupted: bool = False  # injected bit error; receiver CRC drops it
 
 
@@ -238,6 +240,34 @@ class _ReliableDelivery:
     ``max_retries`` consecutive timeouts a peer is declared dead
     (:class:`MessageDropped` on subsequent submits); upper layers surface
     the failure through their own timeout budgets.
+
+    Incarnations and sessions
+    -------------------------
+
+    Two levels of identity keep restarted conversations sound:
+
+    * The node **incarnation** (``msg.inc``) changes only when the NIC
+      actually loses state — a reset, or a crash followed by reboot.
+      Sequenced traffic echoes ``dst_epoch``, the *receiver* incarnation
+      the sender last heard from, so a restarted receiver can tell a
+      stale retransmit (echoing its previous incarnation) from fresh
+      traffic and drop it unacked; it answers with an RST-style pure ACK
+      carrying its current incarnation.  A sender seeing a newer
+      incarnation from a peer knows the peer's receive window for it is
+      gone: it abandons the old tx session (unacked messages are
+      dropped; upper-layer timeouts recover them), lifts any dead-peer
+      verdict, and starts a fresh session — which is what lets a
+      rebooted node rejoin a cluster without every peer resetting too.
+
+    * The per-peer tx **session** (``msg.epoch``, from one monotonic
+      NIC-wide counter) names one run of the sequence space toward one
+      peer.  Restarting a session — after a reboot, or after a give-up
+      retired the old one — starts a new epoch at seq 1; the receiver
+      adopts any *newer* session by resetting its receive window, and
+      drops leftovers of older sessions as duplicates.  Session
+      restarts are deliberately *local*: adopting a peer's new session
+      touches only the receive window for that peer, never our own
+      transmit state, so a benign restart cannot cascade.
     """
 
     def __init__(self, nic: "Nic", params: ReliabilityParams, tracer=None):
@@ -245,18 +275,22 @@ class _ReliableDelivery:
         self.env = nic.env
         self.params = params
         self.tracer = tracer
-        #: Our transmit session number.  A NIC reset (or crash followed
-        #: by recovery) bumps it, so peers can tell a restarted sequence
-        #: space (seq 1 of a *new* epoch) from a retransmitted duplicate
-        #: (seq 1 of the *same* epoch), and so stale in-flight acks from
-        #: the previous session cannot retire fresh messages.
-        self.epoch = 1
+        #: Our node incarnation: bumped only by reset()/crash recovery,
+        #: i.e. whenever receive state was genuinely lost.
+        self.incarnation = 1
+        #: Monotonic source of tx session epochs (never rewinds, so a
+        #: restarted session is always *newer* on the wire).
+        self._session_gen = 0
+        self._session: dict[int, int] = {}  # peer -> our tx session epoch
         self._tx: dict[int, _PeerTx] = {}  # peer -> sender state
         self._rx_last: dict[int, int] = {}  # peer -> last in-order seq seen
-        self._rx_epoch: dict[int, int] = {}  # peer -> its current tx epoch
+        self._rx_session: dict[int, int] = {}  # peer -> its tx session epoch
+        self._rx_inc: dict[int, int] = {}  # peer -> its incarnation
         self._last_acked_sent: dict[int, int] = {}  # peer -> last ack emitted
         self._ack_pending: set[int] = set()
+        self._rst_pending: set[int] = set()
         self.dead_peers: dict[int, MessageDropped] = {}
+        self._dead_since: dict[int, int] = {}  # peer -> verdict time
 
     def _emit(self, category: str, label: str, payload=None) -> None:
         if self.tracer is not None:
@@ -267,13 +301,20 @@ class _ReliableDelivery:
         return self.tracer is not None and self.tracer.wants(category)
 
     def reset(self) -> None:
-        """Forget all sequencing state (NIC reset / crash)."""
-        self.epoch += 1
+        """Forget all sequencing state (NIC reset / crash).
+
+        The incarnation advances; the session-epoch counter does not
+        rewind, so post-reset sessions still read as newer to peers.
+        """
+        self.incarnation += 1
         self._tx.clear()
+        self._session.clear()
         self._rx_last.clear()
-        self._rx_epoch.clear()
+        self._rx_session.clear()
+        self._rx_inc.clear()
         self._last_acked_sent.clear()
         self.dead_peers.clear()
+        self._dead_since.clear()
 
     # -- transmit side ------------------------------------------------------
 
@@ -285,14 +326,22 @@ class _ReliableDelivery:
         """
         peer = msg.dst_nic
         msg.ack = self._rx_last.get(peer, 0)
-        msg.ack_epoch = self._rx_epoch.get(peer, 0)
+        msg.ack_epoch = self._rx_session.get(peer, 0)
         self._last_acked_sent[peer] = msg.ack
+        # Every reliability-stamped message — pure ACKs included —
+        # carries the sender's incarnation and an echo of the receiver
+        # incarnation it believes it is talking to (0 = never heard).
+        msg.inc = self.incarnation
+        msg.dst_epoch = self._rx_inc.get(peer, 0)
         if msg.kind is MsgKind.ACK:
+            msg.epoch = self._session.get(peer, 0)
             return  # pure acks are not themselves sequenced or acked
         st = self._tx.get(peer)
         if st is None:
             st = self._tx[peer] = _PeerTx(rto_cur=self.params.rto_ns)
-        msg.epoch = self.epoch
+            self._session_gen += 1
+            self._session[peer] = self._session_gen
+        msg.epoch = self._session[peer]
         msg.seq = st.next_seq
         st.next_seq += 1
         st.unacked[msg.seq] = (msg, nbytes)
@@ -303,8 +352,8 @@ class _ReliableDelivery:
             )
 
     def _process_ack(self, peer: int, ack: int, ack_epoch: int) -> None:
-        if ack_epoch != self.epoch:
-            return  # ack for a previous session (we reset meanwhile)
+        if ack_epoch != self._session.get(peer, 0):
+            return  # ack for a previous session toward this peer
         st = self._tx.get(peer)
         if st is None:
             return
@@ -327,6 +376,8 @@ class _ReliableDelivery:
                 yield self.env.timeout(st.rto_cur)
                 if self.nic.crashed or not st.unacked:
                     return
+                if self._tx.get(peer) is not st:
+                    return  # session restarted under us; a new timer owns it
                 if st.progress != progress_at_sleep:
                     continue  # acks flowed meanwhile; rto was reset
                 st.retries += 1
@@ -343,6 +394,14 @@ class _ReliableDelivery:
                         "peer": peer, "abandoned": len(st.unacked),
                     })
                     st.unacked.clear()
+                    # Retire the session toward this peer: a later probe
+                    # (after a TTL expiry or an incarnation change) then
+                    # starts a fresh session epoch at seq 1, which the
+                    # peer adopts instead of swallowing as duplicates of
+                    # the dead conversation.  Other peers are untouched.
+                    self._dead_since[peer] = self.env.now
+                    self._tx.pop(peer, None)
+                    self._session.pop(peer, None)
                     return
                 if self._wants("nic"):
                     self._emit("nic", "retransmit", {
@@ -363,7 +422,7 @@ class _ReliableDelivery:
                                 node=self.nic.node_id, peer=peer).inc()
                     yield from self.nic.fw.acquire(self.params.retransmit_fw_ns)
                     msg.ack = self._rx_last.get(msg.dst_nic, 0)
-                    msg.ack_epoch = self._rx_epoch.get(msg.dst_nic, 0)
+                    msg.ack_epoch = self._rx_session.get(msg.dst_nic, 0)
                     yield from self.nic._link.transmit(
                         self.nic._link_end, msg, nbytes
                     )
@@ -384,30 +443,69 @@ class _ReliableDelivery:
                     "src": msg.src_nic, "seq": msg.seq, "kind": msg.kind.value,
                 })
             return None
-        if msg.ack:
-            self._process_ack(msg.src_nic, msg.ack, msg.ack_epoch)
+        peer = msg.src_nic
         if msg.kind is MsgKind.ACK:
+            if msg.inc and msg.inc < self._rx_inc.get(peer, 0):
+                # A leftover ack from the peer's previous incarnation
+                # must not retire messages of the re-established session.
+                self.nic._m_dup.inc()
+                if self._wants("nic"):
+                    self._emit("nic", "stale_ack", {"peer": peer})
+                return None
+            if msg.inc and msg.inc > self._rx_inc.get(peer, 0):
+                # RST-style news: the peer runs a newer incarnation than
+                # the one our session targeted.  Re-establish.
+                self._peer_rebooted(peer, msg.inc)
+            if msg.epoch > self._rx_session.get(peer, 0):
+                self._adopt_session(peer, msg.epoch)
+            if msg.ack:
+                self._process_ack(peer, msg.ack, msg.ack_epoch)
             return None
         if msg.seq == 0:
+            if msg.ack:
+                self._process_ack(peer, msg.ack, msg.ack_epoch)
             return msg  # unsequenced traffic (reliability raced enabling)
-        peer = msg.src_nic
-        known_epoch = self._rx_epoch.get(peer, 0)
-        if msg.epoch < known_epoch:
-            # In-flight leftover from before the peer's reset.
+        if msg.dst_epoch and msg.dst_epoch != self.incarnation:
+            # The sender is talking to a previous incarnation of *us*:
+            # a stale retransmit that predates our reset.  It must not
+            # be delivered or acked as current — its payload was part of
+            # a conversation our reboot lost.  Answer with an RST-style
+            # pure ACK so the sender abandons that session and
+            # re-establishes.
+            self.nic._m_dup.inc()
+            if self._wants("nic"):
+                self._emit("nic", "stale_incarnation", {
+                    "peer": peer, "seq": msg.seq, "for_epoch": msg.dst_epoch,
+                })
+            self._schedule_rst(peer)
+            return None
+        if msg.inc < self._rx_inc.get(peer, 0):
+            # In-flight leftover from before the peer's reset: drop it
+            # whole — its piggybacked ack belongs to a dead conversation.
             self.nic._m_dup.inc()
             if self._wants("nic"):
                 self._emit("nic", "stale_epoch", {"peer": peer, "seq": msg.seq})
             return None
-        if msg.epoch > known_epoch:
+        if msg.inc > self._rx_inc.get(peer, 0):
+            self._peer_rebooted(peer, msg.inc)
+        if msg.epoch < self._rx_session.get(peer, 0):
+            # Leftover of an older, retired session.  Its piggybacked
+            # ack is still sound (retransmits re-stamp acks, and the
+            # ack_epoch guard rejects anything for a dead tx session),
+            # but the payload is a duplicate of a conversation already
+            # torn down — drop it without acking.
+            if msg.ack:
+                self._process_ack(peer, msg.ack, msg.ack_epoch)
+            self.nic._m_dup.inc()
+            if self._wants("nic"):
+                self._emit("nic", "stale_epoch", {"peer": peer, "seq": msg.seq})
+            return None
+        if msg.epoch > self._rx_session.get(peer, 0):
             # The peer restarted its sequence space in a new session;
             # accept the restart instead of treating seq 1 as a duplicate.
-            if known_epoch:
-                self._emit("nic", "resync", {
-                    "peer": peer, "epoch": msg.epoch,
-                })
-            self._rx_epoch[peer] = msg.epoch
-            self._rx_last[peer] = 0
-            self._last_acked_sent.pop(peer, None)
+            self._adopt_session(peer, msg.epoch)
+        if msg.ack:
+            self._process_ack(peer, msg.ack, msg.ack_epoch)
         last = self._rx_last.get(peer, 0)
         if msg.seq == last + 1:
             self._rx_last[peer] = msg.seq
@@ -427,6 +525,84 @@ class _ReliableDelivery:
             })
         self._schedule_ack(peer)
         return None
+
+    def _peer_rebooted(self, peer: int, inc: int) -> None:
+        """Adopt a peer's new incarnation.  Its receive window for us is
+        gone, so our transmit session toward it is dead: abandon it
+        (upper-layer timeouts re-issue over a fresh session).  Our own
+        receive state for the peer is likewise stale — clear it so the
+        peer's post-reboot sessions are adopted cleanly."""
+        known = self._rx_inc.get(peer, 0)
+        self._rx_inc[peer] = inc
+        if known:
+            self._emit("nic", "resync", {"peer": peer, "epoch": inc})
+            st = self._tx.pop(peer, None)
+            self._session.pop(peer, None)
+            if st is not None and st.unacked:
+                obs.counter("nic.tx.session_aborts",
+                            node=self.nic.node_id, peer=peer).inc()
+                st.unacked.clear()  # the live retrans timer exits on this
+        if self.dead_peers.pop(peer, None) is not None:
+            self._dead_since.pop(peer, None)
+            self._emit("nic", "peer_alive", {"peer": peer})
+        self._rx_session.pop(peer, None)
+        self._rx_last.pop(peer, None)
+        self._last_acked_sent.pop(peer, None)
+
+    def _adopt_session(self, peer: int, epoch: int) -> None:
+        """The peer started a new tx session toward us: restart the
+        receive window.  Strictly local — our own tx state is untouched,
+        so a benign session restart cannot cascade."""
+        self._rx_session[peer] = epoch
+        self._rx_last[peer] = 0
+        self._last_acked_sent.pop(peer, None)
+
+    def dead_verdict(self, peer: int) -> Optional[MessageDropped]:
+        """The standing dead-peer verdict for ``peer``, if any.
+
+        With ``dead_peer_ttl_ns`` set, a verdict older than the TTL is
+        lifted on the next submit — the sender probes the peer again
+        over the session space it restarted at give-up time.  The
+        default TTL of 0 keeps verdicts permanent (the historical
+        behavior): only an incarnation change lifts them.
+        """
+        exc = self.dead_peers.get(peer)
+        if exc is None:
+            return None
+        ttl = self.params.dead_peer_ttl_ns
+        if ttl and self.env.now - self._dead_since.get(peer, 0) >= ttl:
+            del self.dead_peers[peer]
+            self._dead_since.pop(peer, None)
+            self._emit("nic", "peer_probe", {"peer": peer})
+            return None
+        return exc
+
+    def _schedule_rst(self, peer: int) -> None:
+        """Queue an RST-style pure ACK telling ``peer`` our current
+        incarnation (throttled to one in flight per peer)."""
+        if peer in self._rst_pending:
+            return
+        self._rst_pending.add(peer)
+        self.env.process(self._rst_proc(peer), name=f"{self.nic.name}.rst")
+
+    def _rst_proc(self, peer: int):
+        yield self.env.timeout(self.params.ack_delay_ns)
+        self._rst_pending.discard(peer)
+        if self.nic.crashed:
+            return
+        rst = Message(
+            kind=MsgKind.ACK,
+            src_nic=self.nic.node_id,
+            src_port=0,
+            dst_nic=peer,
+            dst_port=0,
+            match=0,
+            size=0,
+        )
+        obs.counter("nic.tx.rsts", node=self.nic.node_id).inc()
+        self.nic._m_acks.inc()
+        yield from self.nic.fw.acquire(self.params.ack_fw_ns)
+        yield from self.nic._wire_out(rst, self.nic.params.ctrl_message_bytes)
 
     def _schedule_ack(self, peer: int) -> None:
         if peer in self._ack_pending:
@@ -600,7 +776,7 @@ class Nic:
         if self.crashed:
             raise NodeCrashed(f"{self.name}: local node has crashed")
         if self._rel is not None:
-            dead = self._rel.dead_peers.get(desc.dst_nic)
+            dead = self._rel.dead_verdict(desc.dst_nic)
             if dead is not None:
                 raise MessageDropped(
                     f"{self.name}: peer {desc.dst_nic} declared unreachable: {dead}"

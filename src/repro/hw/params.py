@@ -278,6 +278,12 @@ class ReliabilityParams:
     ack_delay_ns: int = 2000  # delayed-ack coalescing window
     ack_fw_ns: int = 250  # firmware cost of emitting a standalone ack
     retransmit_fw_ns: int = 400  # firmware cost per retransmitted packet
+    #: How long a dead-peer verdict stands before the next submit probes
+    #: the peer again (a link that flapped long enough to burn the retry
+    #: budget leaves both endpoints alive but mutually "dead"; probing
+    #: after the TTL heals them).  0 — the default — keeps verdicts
+    #: permanent: only an incarnation change lifts them.
+    dead_peer_ttl_ns: int = 0
 
 
 DEFAULT_RELIABILITY = ReliabilityParams()

@@ -13,8 +13,31 @@ block cache (page-cache pages indexed by block number) is filled by
 per-block network requests carrying the frame's physical address —
 structurally identical to buffered ORFS, which is why the GM-vs-MX
 comparison comes out the same (see ``benchmarks/bench_ext_nbd.py``).
+
+On top of the single-server device, :mod:`repro.nbd.replica` grows the
+volume into a chain-replicated block store (head orders, tail commits,
+reads at the tail) with a deterministic cluster controller
+(:mod:`repro.nbd.control`), a failover-aware client recording its
+observed history (:mod:`repro.nbd.client`), a linearizability checker
+(:mod:`repro.nbd.linearize`), and a chaos-scenario harness
+(:mod:`repro.nbd.chaos`).
 """
 
+from .client import History, Op, ReplicatedNbdDevice
+from .control import ChainController
 from .device import NbdDevice, NbdServer
+from .linearize import check_history
+from .replica import ChainConfig, ReplicaParams, ReplicaServer
 
-__all__ = ["NbdDevice", "NbdServer"]
+__all__ = [
+    "ChainConfig",
+    "ChainController",
+    "History",
+    "NbdDevice",
+    "NbdServer",
+    "Op",
+    "ReplicaParams",
+    "ReplicaServer",
+    "ReplicatedNbdDevice",
+    "check_history",
+]

@@ -20,7 +20,7 @@ from typing import Optional
 from .. import obs
 from ..cluster.node import Node
 from ..core.channel import KernelChannel
-from ..errors import Eio, Einval, NetworkError, TimeoutError_
+from ..errors import Eio, Einval, MessageDropped, NetworkError, TimeoutError_
 from ..kernel.memfs import MemFs
 from ..mem.layout import sg_from_frames
 from ..mx.memtypes import MxSegment
@@ -85,6 +85,7 @@ class NbdDevice:
         self._m_read = obs.counter("nbd.blocks_read", node=node.node_id)
         self._m_written = obs.counter("nbd.blocks_written", node=node.node_id)
         self._m_retries = obs.counter("nbd.request_retries", node=node.node_id)
+        self._m_failfast = obs.counter("nbd.request_failfast", node=node.node_id)
 
     @property
     def blocks_read(self) -> int:
@@ -144,6 +145,14 @@ class NbdDevice:
         Budget exhaustion — or a fabric-reported dead peer — surfaces as
         :class:`Eio`, the block layer's error completion, instead of an
         I/O that hangs forever.
+
+        The two paths are distinguished: :class:`MessageDropped` means
+        the reliability layer already burned its retransmission budget
+        and declared the server dead, so retrying the same server is
+        pointless — the device fails over immediately with
+        ``Eio(reason="dead_peer")``.  A plain :class:`TimeoutError_`
+        keeps retrying the same server and exhausts into
+        ``Eio(reason="timeout")``.
         """
         attempts = 1 if self.timeout_ns is None else 1 + self.max_retries
         env = self.node.env
@@ -163,8 +172,17 @@ class NbdDevice:
                     self.server[0], self.server[1], send_segs(req),
                     match=0, meta=req,
                 )
+            except MessageDropped as exc:
+                # The fabric declared the server dead: fail over now
+                # instead of burning the remaining retry budget on it.
+                self._m_failfast.inc()
+                obs.span_end(env, span, outcome="dead_peer")
+                raise Eio(f"nbd block {block}: server declared dead: {exc}",
+                          reason="dead_peer") from exc
             except NetworkError as exc:
-                raise Eio(f"nbd block {block}: {exc}") from exc
+                obs.span_end(env, span, outcome="error")
+                raise Eio(f"nbd block {block}: {exc}",
+                          reason="network") from exc
             try:
                 yield from self.channel.wait_recv(
                     recv, timeout_ns=self.timeout_ns
@@ -186,7 +204,8 @@ class NbdDevice:
         obs.span_end(env, span, outcome="timeout")
         raise Eio(
             f"nbd block {block}: no reply after {attempts} attempts "
-            f"of {self.timeout_ns} ns each"
+            f"of {self.timeout_ns} ns each",
+            reason="timeout",
         )
 
     # -- buffered access through the block cache ---------------------------------

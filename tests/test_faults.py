@@ -384,3 +384,208 @@ def test_bench_faults_driver_runs(capsys):
     out = capsys.readouterr().out
     assert "Fault injection" in out
     assert "10.0%" in out
+
+# -- link flap trains ---------------------------------------------------------
+
+
+def test_link_flap_train_recovers_and_renders():
+    """A scheduled down/up train is an exact partition timeline: the
+    workload rides across every outage, and the trace announces the
+    train once plus one down/up pair per outage."""
+    env, cn, sn, client, space, plan, records = _orfa_cluster(
+        lambda p: p.link_flap("wire", us(50), down_ns=us(80), up_ns=us(60),
+                              count=3),
+        timeout_ns=ms(4),
+    )
+    payload, data = _orfa_write_read(env, client, space, nbytes=16 * 1024)
+    assert data == payload
+    trace = render_trace(records)
+    assert trace.count("fault.link_flap") == 1
+    assert trace.count("fault.link_down {") == 3
+    assert trace.count("fault.link_up {") == 3
+    assert plan.stats()["down_drops"] > 0
+
+
+def test_link_flap_validates_inputs():
+    with pytest.raises(ValueError):
+        FaultPlan().link_flap("wire", 0, down_ns=0, up_ns=10, count=1)
+    with pytest.raises(ValueError):
+        FaultPlan().link_flap("wire", 0, down_ns=10, up_ns=0, count=1)
+    with pytest.raises(ValueError):
+        FaultPlan().link_flap("wire", 0, down_ns=10, up_ns=10, count=0)
+    with pytest.raises(ValueError):
+        FaultPlan().link_flap("wire", -1, down_ns=10, up_ns=10, count=1)
+
+
+# -- reliability sessions and incarnations ------------------------------------
+
+
+def _seq_msg(src, dst, seq, *, epoch, inc, dst_epoch=0, ack=0, ack_epoch=0,
+             kind=MsgKind.EAGER):
+    return Message(kind=kind, src_nic=src, src_port=5, dst_nic=dst,
+                   dst_port=5, match=0, size=64, data=bytes(64), wire_size=64,
+                   seq=seq, epoch=epoch, inc=inc, dst_epoch=dst_epoch,
+                   ack=ack, ack_epoch=ack_epoch)
+
+
+def _rel_pair():
+    env = Environment()
+    a, b = node_pair(env)
+    FaultPlan(seed=SEED).install(env, nodes=[a, b])
+    return env, a, b
+
+
+def test_stale_retransmit_after_reset_is_not_acked_as_current():
+    """Regression: a retransmit that predates the receiver's reset
+    echoes the previous incarnation; it must be dropped, not delivered
+    or acked as part of the post-reset conversation."""
+    env, a, b = _rel_pair()
+    rel = b.nic._rel
+    first = _seq_msg(0, 1, 1, epoch=7, inc=3)
+    assert rel.on_arrival(first) is first
+    assert rel._rx_last[0] == 1
+    old_inc = rel.incarnation
+    b.nic.reset()
+    assert rel.incarnation == old_inc + 1
+    stale = _seq_msg(0, 1, 2, epoch=7, inc=3, dst_epoch=old_inc)
+    assert rel.on_arrival(stale) is None  # dropped whole
+    assert rel._rx_last.get(0, 0) == 0  # and not acked as current
+    assert 0 in rel._rst_pending  # the sender will be told to re-establish
+
+
+def test_session_restart_is_adopted_not_deduplicated():
+    """Regression: after the peer retires a session (give-up) and later
+    probes with a fresh one, seq 1 of the new epoch is a restart, not a
+    duplicate — treating it as one falsely acked it and wedged the
+    probe forever."""
+    env, a, b = _rel_pair()
+    rel = b.nic._rel
+    assert rel.on_arrival(_seq_msg(0, 1, 1, epoch=7, inc=3)) is not None
+    assert rel.on_arrival(_seq_msg(0, 1, 2, epoch=7, inc=3)) is not None
+    assert rel._rx_last[0] == 2
+    fresh = _seq_msg(0, 1, 1, epoch=8, inc=3)
+    assert rel.on_arrival(fresh) is fresh  # new session adopted
+    assert rel._rx_last[0] == 1
+    # a leftover of the dead session is a duplicate, and must not
+    # regress the adopted window
+    assert rel.on_arrival(_seq_msg(0, 1, 2, epoch=7, inc=3)) is None
+    assert rel._rx_last[0] == 1
+
+
+def test_peer_session_restart_leaves_local_tx_alone():
+    """A benign session restart (no reboot) resets only the receive
+    window for that peer; our own transmit session must survive —
+    aborting it is what made restarts ping-pong between live peers."""
+    env, a, b = _rel_pair()
+    rel = b.nic._rel
+    out = _seq_msg(1, 0, 0, epoch=0, inc=0)
+    rel.stamp(out, 64)  # b establishes tx state toward peer 0
+    assert rel._tx[0].unacked
+    session = rel._session[0]
+    rel.on_arrival(_seq_msg(0, 1, 1, epoch=5, inc=1))
+    rel.on_arrival(_seq_msg(0, 1, 1, epoch=6, inc=1))  # peer restarted
+    assert rel._session.get(0) == session  # tx session untouched
+    assert rel._tx[0].unacked  # nothing aborted
+
+
+def test_stale_incarnation_ack_does_not_retire_fresh_messages():
+    """An ack left over from the peer's previous life must not retire
+    messages of the re-established conversation."""
+    env, a, b = _rel_pair()
+    rel = a.nic._rel
+    rel._rx_inc[1] = 5  # we have heard from the peer's 5th incarnation
+    out = _seq_msg(0, 1, 0, epoch=0, inc=0)
+    rel.stamp(out, 64)
+    assert rel._tx[1].unacked
+    stale = _seq_msg(1, 0, 0, epoch=0, inc=4, ack=1,
+                     ack_epoch=rel._session[1], kind=MsgKind.ACK)
+    assert rel.on_arrival(stale) is None
+    assert rel._tx[1].unacked  # stale incarnation: ignored
+    good = _seq_msg(1, 0, 0, epoch=0, inc=5, ack=1,
+                    ack_epoch=rel._session[1], kind=MsgKind.ACK)
+    assert rel.on_arrival(good) is None
+    assert not rel._tx[1].unacked  # current incarnation: retired
+
+
+def test_dead_peer_verdict_expires_and_probe_reconnects():
+    """With a TTL configured, a dead-peer verdict ages out: the next
+    submit probes the peer over a fresh session and delivery resumes —
+    no reset on the *surviving* side required."""
+    env = Environment()
+    a, b = node_pair(env)
+    plan = FaultPlan(seed=SEED)
+    plan.node_crash(1, us(10))
+    plan.nic_reset(1, us(300))  # the reboot
+    plan.install(env, nodes=[a, b], reliability_params=ReliabilityParams(
+        rto_ns=us(20), rto_max_ns=us(40), max_retries=2,
+        dead_peer_ttl_ns=us(200)))
+    port = b.nic.open_port(5, MX_KERNEL_COSTS)
+    port.post_receive(PostedReceive(match=None, capacity=4096, keep_data=True))
+    port.post_receive(PostedReceive(match=None, capacity=4096, keep_data=True))
+    seen = {}
+
+    def script(env):
+        yield env.timeout(us(50))  # b is down
+        a.nic.submit(SendDescriptor(dst_nic=1, dst_port=5, match=0, size=64,
+                                    data=bytes(64), fw_send_ns=500))
+        yield env.timeout(us(250))
+        seen["dead"] = 1 in a.nic._rel.dead_peers
+        yield env.timeout(us(300))  # past reboot and TTL
+        a.nic.submit(SendDescriptor(dst_nic=1, dst_port=5, match=1, size=64,
+                                    data=bytes(64), fw_send_ns=500))
+
+    env.run(until=env.process(script(env)))
+    env.run()
+    assert seen["dead"]  # the give-up verdict stood while b was down
+    assert 1 not in a.nic._rel.dead_peers  # probe lifted it
+    assert b.nic.messages_received >= 1  # and got through
+
+
+# -- NBD fail-fast reasons ----------------------------------------------------
+
+
+def _nbd_against_crashed_server(reliability_params, timeout_ns, max_retries):
+    env = Environment()
+    client_node, server_node = node_pair(env)
+    plan = FaultPlan(seed=SEED).node_crash(1, us(10))
+    plan.install(env, nodes=[client_node, server_node],
+                 reliability_params=reliability_params)
+    server = NbdServer(server_node, 3, api="mx", device_blocks=4)
+    env.run(until=server.start())
+    channel = MxKernelChannel(client_node, 4)
+    dev = NbdDevice(client_node, channel, (server_node.node_id, 3),
+                    server.device_inode, 4,
+                    timeout_ns=timeout_ns, max_retries=max_retries)
+    space = client_node.new_process_space()
+    out = space.mmap(BLOCK_SIZE)
+    caught = {}
+
+    def script(env):
+        yield env.timeout(us(50))  # server is down by now
+        try:
+            yield from dev.read(space, out, 0, BLOCK_SIZE)
+        except Eio as exc:
+            caught["reason"] = exc.reason
+
+    env.run(until=env.process(script(env)))
+    return caught
+
+
+def test_nbd_dead_peer_verdict_fails_fast_with_reason():
+    """When the fabric declares the server dead, the device gives up
+    immediately with Eio(reason="dead_peer") — callers should fail
+    over, not retry the same server."""
+    caught = _nbd_against_crashed_server(
+        ReliabilityParams(rto_ns=us(20), rto_max_ns=us(40), max_retries=2),
+        timeout_ns=ms(2), max_retries=6)
+    assert caught["reason"] == "dead_peer"
+
+
+def test_nbd_timeout_exhaustion_reports_timeout_reason():
+    """With the fabric still retrying (no dead verdict yet), budget
+    exhaustion surfaces as Eio(reason="timeout") — the same server may
+    answer a later retry."""
+    caught = _nbd_against_crashed_server(
+        ReliabilityParams(rto_ns=ms(10), rto_max_ns=ms(10), max_retries=1000),
+        timeout_ns=us(200), max_retries=1)
+    assert caught["reason"] == "timeout"
