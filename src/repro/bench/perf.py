@@ -421,6 +421,25 @@ def bench_sharded(quick: bool = False) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# fabric / hybrid fidelity
+# ---------------------------------------------------------------------------
+
+
+def _bench_topo(quick: bool = False) -> dict:
+    """``topo`` section: fat-tree flow-fidelity A/B (repro.bench.topo).
+
+    Deterministic event counts again, so CI gates directly: >= 10x
+    fewer engine events on the congested cross-pod permutation, and
+    byte-identical completion tables plus metric snapshots on the
+    uncontended same-edge exchange (the regime where the analytic flow
+    model is exact).
+    """
+    from .topo import bench_topo
+
+    return bench_topo(quick=quick)
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -442,12 +461,14 @@ def run_perf(quick: bool = False) -> dict:
         "data_path": bench_data_path(quick=quick),
         "packet_train": bench_packet_train(quick=quick),
         "sharded": bench_sharded(quick=quick),
+        "topo": _bench_topo(quick=quick),
     }
     eng = report["engine"]
     alloc = report["allocator"]
     dp = report["data_path"]["paths"]
     pt = report["packet_train"]["summary"]
     sh = report["sharded"]
+    tp = report["topo"]["summary"]
     report["summary"] = {
         "engine_events_per_sec": round(
             (eng["heap"]["events"] + eng["immediate"]["events"])
@@ -468,6 +489,10 @@ def run_perf(quick: bool = False) -> dict:
         "sharded_sim_identical": sh["sim_identical"],
         "sharded_speedup": sh["speedup"],
         "sharded_cores": sh["cores"],
+        "topo_event_reduction": tp["event_reduction"],
+        "topo_events_per_mib_flow": tp["events_per_mib_flow"],
+        "topo_identity_identical": (tp["identity_completions_identical"]
+                                    and tp["identity_obs_identical"]),
     }
     return report
 
@@ -504,6 +529,9 @@ def main(argv: list[str] | None = None) -> int:
         f"sharded (2 procs): {summary['sharded_speedup']:>12.2f} x vs sequential on "
         f"{summary['sharded_cores']} core(s), "
         f"identical={summary['sharded_sim_identical']}",
+        f"fabric flows     : {summary['topo_event_reduction']:>12.2f} x fewer engine events "
+        f"({summary['topo_events_per_mib_flow']:,.0f} events/MiB), "
+        f"identity={summary['topo_identity_identical']}",
     ):
         print(line, file=sys.stderr if args.out == "-" else sys.stdout)
     return 0

@@ -99,6 +99,13 @@ def main(argv: list[str] | None = None) -> int:
         from .replica import main as replica_main
 
         return replica_main(argv[1:])
+    if argv and argv[0] == "topo":
+        # Fat-tree fabric A/B: packet vs train vs flow fidelity.  Not
+        # part of ``all`` — the paper's figures are two-node topologies
+        # and must stay byte-identical regardless of fabric work.
+        from .topo import main as topo_main
+
+        return topo_main(argv[1:])
     if argv and argv[0] == "shard":
         # Sharded execution of the two-node figures: one worker process
         # per node, synchronised by the wire's propagation lookahead.

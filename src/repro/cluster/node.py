@@ -65,15 +65,32 @@ def star(
     n_nodes: int,
     link: LinkParams = PCI_XD,
     host: HostParams | None = None,
+    *,
+    name_prefix: str = "node",
+    switch_name: str = "switch",
+    base_id: int = 0,
+    switch: Switch | None = None,
 ) -> tuple[list[Node], Switch]:
-    """``n_nodes`` nodes around one crossbar switch."""
-    if n_nodes < 2:
+    """``n_nodes`` nodes around one crossbar switch.
+
+    ``name_prefix`` threads into node (and therefore NIC and metric)
+    names as ``{name_prefix}{node_id}``; multi-switch topologies pass a
+    per-group prefix so names stay unambiguous fabric-wide.  ``base_id``
+    offsets the node ids (fabric builders assign globally unique ids),
+    and ``switch`` lets a builder hang the nodes off an existing edge
+    switch instead of creating a fresh one — :mod:`repro.cluster.topo`
+    reuses this for every edge/router group it populates.  The defaults
+    reproduce the classic single-switch star exactly.
+    """
+    if n_nodes < (1 if switch is not None else 2):
         raise ValueError(f"a star needs at least 2 nodes, got {n_nodes}")
     params = host or HostParams(nic=NicParams(link=link))
-    switch = Switch(env, link)
+    if switch is None:
+        switch = Switch(env, link, name=switch_name)
     nodes = []
-    for node_id in range(n_nodes):
-        node = Node(env, node_id, params)
+    for i in range(n_nodes):
+        node_id = base_id + i
+        node = Node(env, node_id, params, name=f"{name_prefix}{node_id}")
         uplink, end = switch.add_node(node_id)
         node.nic.attach_link(uplink, end)
         nodes.append(node)

@@ -72,7 +72,8 @@ def validate_partition(links: Iterable[TopoLink],
 
 
 def propose_partition(entities: Sequence[str], links: Sequence[TopoLink],
-                      nshards: int) -> dict[str, int]:
+                      nshards: int, *,
+                      min_cut_propagation_ns: int = 0) -> dict[str, int]:
     """Assign entities to ``nshards`` shards, cutting only sound links.
 
     Uncuttable links are contracted so their endpoints stay co-shard;
@@ -81,6 +82,15 @@ def propose_partition(entities: Sequence[str], links: Sequence[TopoLink],
     lexicographically smallest member entity and the lowest shard id.
     Raises if fewer components than shards exist — the caller asked for
     more parallelism than the topology's sound cuts allow.
+
+    ``min_cut_propagation_ns`` additionally contracts every link whose
+    propagation is below the threshold, even if it would be a sound cut.
+    The border protocol's sync cadence is set by the *smallest* cut-link
+    propagation, so a multi-switch fabric wants its cuts confined to the
+    fat inter-pod trunks: passing their propagation here keeps hosts
+    glued to their edge switches and pods glued together, and every
+    proposed cut then carries the full fat lookahead
+    (:mod:`repro.cluster.topo` uses this for pod-grained sharding).
     """
     if nshards < 1:
         raise PartitionError(f"need at least one shard, got {nshards}")
@@ -101,7 +111,7 @@ def propose_partition(entities: Sequence[str], links: Sequence[TopoLink],
             missing = link.a if link.a not in known else link.b
             raise PartitionError(
                 f"link {link.name!r} references unknown entity {missing!r}")
-        if not link.cuttable:
+        if not link.cuttable or link.propagation_ns < min_cut_propagation_ns:
             ra, rb = find(link.a), find(link.b)
             if ra != rb:
                 parent[ra] = rb

@@ -324,7 +324,7 @@ class FaultPlan:
                 all_links[id(nic._link)] = nic._link
         for switch in switches:
             switch.tracer = self.tracer
-            for link in switch._links.values():
+            for link in switch.all_links():  # host ports and trunks
                 all_links[id(link)] = link
         for link_name, first_down, down, up, count in self._flaps:
             self.tracer.emit(0, "fault", "link_flap", {

@@ -35,6 +35,11 @@ from .train import PacketTrain, TrainRun, TrainTruncation
 class Link:
     """A point-to-point full-duplex link between endpoints ``a`` and ``b``."""
 
+    #: True on :class:`repro.sim.border.BorderLink`: the far end lives in
+    #: another shard process, so analytic flow reservations (which need
+    #: a global view of the path) must not cross it.
+    is_border = False
+
     def __init__(self, env: Environment, params: LinkParams, name: str = "link"):
         self.env = env
         self.params = params
@@ -57,6 +62,12 @@ class Link:
         self._m_dropped = obs.counter("link.drops", link=name)
         #: Optional fault injector (repro.faults.LinkFaultInjector).
         self.faults = None
+        #: Optional per-link flow state (repro.hw.flow.LinkFlows),
+        #: installed the first time a flow reservation crosses this
+        #: link.  While a direction carries reservations, packet
+        #: transmissions on it are "interlopers": counted against the
+        #: contention threshold that de-coalesces the flows.
+        self.flows = None
         #: Optional Tracer; a subscription that ``wants("wire")`` gets a
         #: record per wire item — and thereby vetoes train coalescing,
         #: since a train would hide the per-packet records.
@@ -123,6 +134,9 @@ class Link:
         yield from direction.acquire(serialization)
         self._m_bytes[dir_key].inc(nbytes)
         self._m_busy[dir_key].inc(serialization)
+        flows = self.flows
+        if flows is not None:
+            flows.note_interloper(dir_key, nbytes)
         tracer = self.tracer
         if tracer is not None and tracer.wants("wire"):
             tracer.emit(self.env.now, "wire", "packet", {
@@ -149,9 +163,17 @@ class Link:
         wants per-packet wire records.  Any other answer names the
         de-coalescing reason (used as an obs counter label).
         """
-        direction = self._dirs["ab" if from_end == "a" else "ba"]
+        dir_key = "ab" if from_end == "a" else "ba"
+        direction = self._dirs[dir_key]
         if direction.in_use or direction.queue_length:
             return "busy"
+        flows = self.flows
+        if flows is not None and flows.reserved(dir_key):
+            # Analytic flow reservations share this direction; a train
+            # hold would monopolize it.  The per-packet fallback packets
+            # count as interlopers, which is exactly the contention the
+            # flows' de-coalescing threshold is watching for.
+            return "flow"
         if self.faults is not None:
             return "faults"
         tracer = self.tracer

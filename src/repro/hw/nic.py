@@ -673,6 +673,10 @@ class Nic:
         # calls enable_reliability(); every hot-path hook is an `is None`
         # check so the perfect-fabric simulation is unchanged.
         self._rel: Optional[_ReliableDelivery] = None
+        #: Analytic flow engine (repro.hw.flow.FlowNetwork), installed by
+        #: fabric topology builders; None on direct links and classic
+        #: stars, so their packet paths are untouched.
+        self.flownet = None
         self.crashed = False
         #: Total retransmitted messages; per-peer detail lives on the
         #: registry as ``nic.tx.retransmits{node=...,peer=...}``.
@@ -904,6 +908,15 @@ class Nic:
         the caller's classic per-packet loop (the de-coalesced case, or
         the tail of a train a competitor cut short).
         """
+        fl = self.flownet
+        if fl is not None:
+            remaining = yield from fl.carry(self, desc, remaining, mtu)
+            if remaining != desc.size:
+                # The flow carried at least one packet.  If it was cut
+                # short (de-coalesced), the tail goes per-packet in the
+                # caller's loop — a train sized from ``desc.size`` would
+                # misdescribe it.
+                return remaining
         nfrags = (desc.size - 1) // mtu
         if nfrags < MIN_TRAIN_FRAGS or not coalescing_enabled():
             return remaining

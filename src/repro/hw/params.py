@@ -151,6 +151,88 @@ PCI_XE = LinkParams(
 )
 
 
+def trunk_params(base: LinkParams, propagation_ns: int) -> LinkParams:
+    """A switch-to-switch trunk of the same link generation.
+
+    Same serialization rate as the host links (Myrinet fabrics are
+    homogeneous per generation), longer cable.  Inter-pod trunks use a
+    multiple of the host propagation: physically they leave the rack,
+    and for the sharded engine a longer wire *is* the conservative
+    lookahead window (``repro.sim.border``), so cutting a fabric at its
+    inter-pod trunks gives each synchronization window several times
+    more room than cutting a host link would.
+    """
+    from dataclasses import replace
+
+    return replace(base, name=f"{base.name}-trunk", propagation_ns=propagation_ns)
+
+
+# ---------------------------------------------------------------------------
+# Fabric topologies (repro.cluster.topo) and the hybrid flow engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FabricParams:
+    """Shape-independent knobs of a multi-switch fabric.
+
+    ``routing`` selects the multi-path policy of every switch:
+    ``"ecmp"`` (deterministic flow hashing — see
+    :func:`repro.hw.wire.ecmp_hash`) or ``"adaptive"`` (least-queued
+    egress among the equal-cost candidates, skipping down links; state-
+    dependent, so the analytic flow engine declines those paths).
+
+    ``egress_buffer_bytes`` bounds each output port's occupancy (queued
+    plus in-service bytes).  ``None`` — the default — models the
+    unbounded egress the single-switch star always had; a finite buffer
+    makes the switch drop-tail excess packets and count them as
+    ``switch.congestion_drops`` (backpressure is left to the NIC
+    reliability layer, exactly like carrier-loss drops).
+
+    ``intra_propagation_ns``/``inter_propagation_ns`` are the trunk
+    cable lengths inside a pod/group and between pods/groups; the
+    inter-pod figure is deliberately fat (see :func:`trunk_params`).
+    """
+
+    routing: str = "ecmp"
+    ecmp_seed: int = 1
+    crossing_ns: int = 300
+    egress_buffer_bytes: int | None = None
+    intra_propagation_ns: int = 500
+    inter_propagation_ns: int = 2000
+
+
+DEFAULT_FABRIC = FabricParams()
+
+
+@dataclass(frozen=True)
+class FlowParams:
+    """Calibration of the analytic flow fast path (:mod:`repro.hw.flow`).
+
+    ``min_flow_frags``: below this many FRAG pacing packets the
+    reservation bookkeeping costs more events than it saves and the
+    packet-train path is already cheap; such messages never become
+    flows.
+
+    ``interloper_threshold_bytes``: non-flow bytes tolerated on a
+    reserved link direction within one reservation epoch (between flow
+    arrivals/departures on that direction) before the contention is
+    considered observable and every flow on the direction de-coalesces.
+    Below the threshold the model ignores the bandwidth the interloper
+    took, so the threshold *is* the documented equivalence bound: a
+    flow's completion may be early by at most the serialization time of
+    these bytes per hop.  The default (16 MTUs) comfortably absorbs
+    final packets and control traffic of neighbouring transfers without
+    letting a competing bulk stream go unnoticed.
+    """
+
+    min_flow_frags: int = 8
+    interloper_threshold_bytes: int = 64 * 1024
+
+
+DEFAULT_FLOW = FlowParams()
+
+
 # ---------------------------------------------------------------------------
 # NIC / firmware
 # ---------------------------------------------------------------------------

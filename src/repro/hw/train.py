@@ -42,6 +42,15 @@ them.
 
 The module-level switch (:func:`set_coalescing`) exists for A/B
 equivalence testing and the perf benchmark; the default is on.
+
+One level further up sits the flow engine (:mod:`repro.hw.flow`): where
+a train coalesces one message's FRAG burst *per hop*, a flow reservation
+coalesces the whole burst *across the path*, and de-coalesces back to
+trains/packets by the same playbook (its remainder re-enters this
+module's machinery untouched).  Trains and flows share one id space
+(:func:`next_transit_id`) so a switch's in-flight transit registry can
+never alias a re-emitted train of a de-coalesced flow with the flow
+itself.
 """
 
 from __future__ import annotations
@@ -55,6 +64,11 @@ from .wire import MsgKind
 MIN_TRAIN_FRAGS = 2
 
 _train_ids = itertools.count(1)
+
+
+def next_transit_id() -> int:
+    """Next id from the shared train/flow transit id space."""
+    return next(_train_ids)
 
 _enabled = True
 
@@ -99,7 +113,7 @@ class PacketTrain:
         self.match = match
         self.npackets = npackets
         self.wire_size = wire_size
-        self.train_id = next(_train_ids)
+        self.train_id = next_transit_id()
 
 
 class TrainTruncation:

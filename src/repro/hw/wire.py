@@ -1,14 +1,24 @@
-"""Wire-level message kinds.
+"""Wire-level message kinds and the ECMP flow hash.
 
 Lives in its own leaf module so both the NIC model (:mod:`repro.hw.nic`)
 and the packet-train machinery (:mod:`repro.hw.train`, imported by
 :mod:`repro.hw.link`) can name the FRAG kind without an import cycle.
 The public home of the enum remains ``repro.hw.nic.MsgKind``.
+
+:func:`ecmp_hash` also lives here because it defines the *flow
+identity* shared by three layers that must agree on it: the switch
+(:mod:`repro.hw.switch`) hashes it to pick among equal-cost ports, the
+flow engine (:mod:`repro.hw.flow`) replays the same hash to freeze a
+flow's path, and FRAG pacing packets carry exactly the same four
+addressing fields as their final packet so every packet of one message
+takes one path (no reordering across equal-cost paths).
 """
 
 from __future__ import annotations
 
 import enum
+
+_M64 = (1 << 64) - 1
 
 
 class MsgKind(enum.Enum):
@@ -20,3 +30,28 @@ class MsgKind(enum.Enum):
     RDATA = "rdata"  # rendezvous data (pre-matched at the receiver)
     FRAG = "frag"  # a non-final packet of a fragmented message
     ACK = "ack"  # reliable-delivery cumulative acknowledgement (control)
+
+
+def ecmp_hash(src_nic: int, src_port: int, dst_nic: int, dst_port: int,
+              seed: int) -> int:
+    """Deterministic 64-bit hash of one flow's addressing 4-tuple.
+
+    splitmix64-style finalizer over a weighted sum of the fields.  The
+    ``seed`` is per-switch (derived from the fabric seed and the switch
+    index by the topology builder), so consecutive hops decorrelate —
+    hashing the same tuple with one shared seed at every hop would send
+    *all* flows that collided at hop ``h`` to the same candidate at hop
+    ``h+1`` (CONGA calls this hash polarization).  Python's builtin
+    ``hash()`` is unsuitable: it is salted per process.
+    """
+    x = (seed * 0x9E3779B97F4A7C15
+         + (src_nic + 1) * 0xBF58476D1CE4E5B9
+         + (src_port + 1) * 0x94D049BB133111EB
+         + (dst_nic + 1) * 0xD6E8FEB86659FD93
+         + (dst_port + 1) * 0xFF51AFD7ED558CCD) & _M64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _M64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _M64
+    x ^= x >> 31
+    return x

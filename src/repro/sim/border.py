@@ -187,6 +187,8 @@ class BorderLink(Link):
     through the normal local endpoint callback.
     """
 
+    is_border = True  # flow reservations must not cross shard borders
+
     def __init__(self, env: Environment, params: LinkParams, border: BorderEnd,
                  local_end: str = "a", name: str = "link"):
         if local_end not in ("a", "b"):

@@ -40,6 +40,18 @@ so the classic Chandy–Misra–Bryant liveness argument applies: the
 minimum granted horizon rises by at least one propagation delay per
 exchange round.
 
+Lookahead is per-border (the cut link's ``propagation_ns``), so the
+topology chooses the sync cadence.  Multi-switch fabrics exploit this
+deliberately: :meth:`repro.cluster.topo.Fabric.propose_pods` confines
+cuts to inter-pod trunks carrying ``FabricParams.inter_propagation_ns``
+(a cable-length delay several times the intra-pod trunks'), so a
+pod-per-shard fat-tree synchronizes in windows that fat lookahead wide
+— the token exchange amortizes over whole packet pipelines.  Partial
+:class:`~repro.cluster.topo.Fabric` builds install no analytic
+FlowNetwork (a reservation needs a global path view; ``Link.is_border``
+refuses the cut hops), so sharded fabric runs stay byte-identical to
+sequential ones.
+
 Between phases the coordinator runs a drain barrier: when every shard
 reports idle with matched per-border sent/received counts (which proves
 no wire item is in flight — a shard can only send after receiving,
