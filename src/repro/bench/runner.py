@@ -106,6 +106,14 @@ def main(argv: list[str] | None = None) -> int:
         from .topo import main as topo_main
 
         return topo_main(argv[1:])
+    if argv and argv[0] == "fleet":
+        # Declarative experiment sweeps (open-loop load over a grid of
+        # topologies/fidelities/workloads).  Not part of ``all`` — the
+        # paper's figures are fixed two-node experiments and must stay
+        # byte-identical regardless of fleet work.
+        from .fleet import main as fleet_main
+
+        return fleet_main(argv[1:])
     if argv and argv[0] == "shard":
         # Sharded execution of the two-node figures: one worker process
         # per node, synchronised by the wire's propagation lookahead.

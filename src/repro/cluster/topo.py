@@ -56,6 +56,27 @@ from ..sim import Environment
 from .node import Node, star
 from .partition import TopoLink, propose_partition
 
+#: Routing tables are a pure function of the abstract switch graph (the
+#: adjacency, the host locator, and which switches need tables) — no
+#: Environment state enters the BFS.  Fleet sweeps rebuild the same
+#: fabric for every grid point that varies only load/fidelity/fault, so
+#: the tables are memoized process-wide by structural signature.  The
+#: cache can only change build *time*, never results: a hit hands back
+#: the exact tuples a fresh BFS would compute (tests assert the bytes).
+_ROUTE_CACHE: dict = {}
+_ROUTE_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def route_cache_stats() -> dict:
+    """Process-wide route-memo counters (for perf tests and the CLI)."""
+    return dict(_ROUTE_CACHE_STATS)
+
+
+def clear_route_cache() -> None:
+    _ROUTE_CACHE.clear()
+    _ROUTE_CACHE_STATS["hits"] = 0
+    _ROUTE_CACHE_STATS["misses"] = 0
+
 
 class Fabric:
     """A multi-switch topology under construction.
@@ -205,6 +226,39 @@ class Fabric:
         if self._finalized:
             raise NetworkError(f"fabric {self.name!r} finalized twice")
         self._finalized = True
+        routes = self._routes()
+        for sw_name, sw in self.switches.items():
+            # Each switch gets a private top-level dict so a cached
+            # routes value can never be mutated through a switch.
+            sw.set_topology(self.locator, dict(routes[sw_name]))
+        if (self.flow_params is not None and self.assignment is None
+                and self.hub is None):
+            self.flownet = FlowNetwork(self.env, self.flow_params,
+                                       path_fn=self._flow_path,
+                                       name=self.name)
+            for node in self.nodes:
+                node.nic.flownet = self.flownet
+
+    def _route_signature(self):
+        """Structural identity of the routing problem: switch creation
+        order, full adjacency, host placement, and which switches are
+        local (partial builds route only their own subset)."""
+        return (
+            tuple(self._switch_names),
+            tuple((sw, tuple(self._adj[sw])) for sw in self._switch_names),
+            tuple(sorted(self.locator.items())),
+            tuple(sorted(self.switches)),
+        )
+
+    def _routes(self) -> dict[str, dict[str, tuple[int, ...]]]:
+        """Shortest-path tables for every local switch, memoized by
+        :func:`_route_signature` across fabric builds in this process."""
+        sig = self._route_signature()
+        cached = _ROUTE_CACHE.get(sig)
+        if cached is not None:
+            _ROUTE_CACHE_STATS["hits"] += 1
+            return cached
+        _ROUTE_CACHE_STATS["misses"] += 1
         targets = sorted(set(self.locator.values()))
         routes: dict[str, dict[str, tuple[int, ...]]] = {
             s: {} for s in self.switches
@@ -225,15 +279,8 @@ class Fabric:
                     raise NetworkError(
                         f"no shortest-path port from {sw_name!r} to {target!r}")
                 routes[sw_name][target] = cands
-        for sw_name, sw in self.switches.items():
-            sw.set_topology(self.locator, routes[sw_name])
-        if (self.flow_params is not None and self.assignment is None
-                and self.hub is None):
-            self.flownet = FlowNetwork(self.env, self.flow_params,
-                                       path_fn=self._flow_path,
-                                       name=self.name)
-            for node in self.nodes:
-                node.nic.flownet = self.flownet
+        _ROUTE_CACHE[sig] = routes
+        return routes
 
     def _bfs(self, target: str) -> dict[str, int]:
         dist = {target: 0}

@@ -1,0 +1,193 @@
+"""The sweep runner: expand a fleet spec, run every point, tabulate.
+
+Each grid point runs under :func:`repro.fleet.isolate.isolated_run` —
+fresh metrics registry, zeroed host-copy accounting, fresh-process id
+counters, fidelity switches scoped to the point — in its own
+:class:`~repro.sim.Environment`.  That makes a point hermetic, which
+buys the fleet contract for free:
+
+* *same spec + seed => byte-identical results files*, and
+* *sequential in-process == parallel fresh-process*: ``--parallel N``
+  fans points out over a fork :class:`~concurrent.futures.
+  ProcessPoolExecutor` (the :mod:`repro.bench.runner` discipline) and
+  reassembles rows in point order, so the rendered JSON/CSV bytes never
+  depend on worker scheduling.
+
+Grid points that share a topology reuse the memoized fabric routing
+tables (:mod:`repro.cluster.topo`'s route cache) — a build-time
+optimization the byte-identity contract itself proves harmless, since
+parallel workers start cold while sequential runs hit the cache.
+
+No wall-clock value ever enters a results file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..cluster.node import star
+from ..cluster.topo import dragonfly, fat_tree
+from ..faults.plan import FaultPlan
+from ..hw import flow as flowmod
+from ..hw import train as trainmod
+from ..hw.params import host_params
+from ..load import LoadGen, make_arrivals, make_mix, make_workload, run_load
+from ..sim import Environment
+from ..units import us
+from .isolate import isolated_run
+from .spec import FleetSpec, RunPoint
+
+#: Spec-file field reference (``python -m repro.bench fleet --schema``).
+FLEET_SCHEMA = {
+    "name": "str: label stamped into the results files",
+    "seed": "int: master seed for arrivals, op mixes and fault plans",
+    "n_ops": "int: requests drawn per grid point",
+    "n_clients": "int: issuing clients (one in-flight op each)",
+    "mix": "str stock mix name, or {name, choices:[{op,size,weight}]}",
+    "loop": "'open' (replay drawn arrival times) or 'closed'",
+    "think_us": "int: closed-loop think time between ops",
+    "grid": {
+        "topology": "[{kind: star, n} | {kind: fat_tree, k} | "
+                    "{kind: dragonfly, groups, routers, hosts}]",
+        "mode": "[packet | train | flow] (flow needs a fabric topology)",
+        "workload": "[{kind: orfa|nbd|rr, api: mx|gm|tcp, ...}]",
+        "arrivals": "[{process: poisson | pareto_on_off, ...}]",
+        "offered_load": "[ops per second, > 0]",
+        "faults": "[null | {kind: link_flap, link, ...} | "
+                  "{kind: nic_reset|node_crash, node, at_us}]",
+    },
+}
+
+_CONFIG_COLS = ("index", "topology", "mode", "workload", "arrivals",
+                "offered_load", "fault", "seed")
+_METRIC_COLS = ("n_clients", "offered_ops", "achieved_ops", "failed_ops",
+                "elapsed_ns", "offered_rate_ops_s", "achieved_rate_ops_s",
+                "fairness", "mean_ns", "p50_ns", "p95_ns", "p99_ns")
+_EXTRA_COLS = ("sim_ns", "events")
+
+
+def _build_topology(env: Environment, topo: dict):
+    """Instantiate one grid topology; returns (nodes, switches)."""
+    kind = topo["kind"]
+    if kind == "star":
+        nodes, switch = star(env, topo["n"])
+        return nodes, [switch]
+    # Fabric hosts get a reduced frame pool — big enough for server
+    # rings, load buffers and page caches, small enough that fabric
+    # builds with dozens of hosts stay cheap.
+    host = host_params(memory_frames=16384)
+    if kind == "fat_tree":
+        fabric = fat_tree(env, topo["k"], host=host)
+    else:
+        fabric = dragonfly(env, topo["groups"], topo["routers"],
+                           topo["hosts"], host=host)
+    return fabric.nodes, list(fabric.switches.values())
+
+
+def _pick_clients(nodes, n_clients: int):
+    """Evenly spread client hosts over ids 1..n-1 (0 is the server), so
+    fabric clients land in different pods/groups."""
+    n = len(nodes)
+    return [nodes[1 + (i * (n - 1)) // n_clients] for i in range(n_clients)]
+
+
+def _install_fault(env, fault: dict, seed: int, nodes, switches) -> None:
+    plan = FaultPlan(seed=seed)
+    at = us(int(fault.get("at_us", 600)))
+    if fault["kind"] == "link_flap":
+        plan.link_flap(fault["link"], at,
+                       down_ns=us(int(fault.get("down_us", 400))),
+                       up_ns=us(int(fault.get("up_us", 250))),
+                       count=int(fault.get("count", 2)))
+    elif fault["kind"] == "nic_reset":
+        plan.nic_reset(int(fault["node"]), at)
+    else:
+        plan.node_crash(int(fault["node"]), at)
+    plan.install(env, nodes=nodes, switches=switches)
+
+
+def run_point(spec: FleetSpec, point: RunPoint) -> dict:
+    """Run one grid point hermetically; returns its results row."""
+    with isolated_run(observe=True):
+        # Fidelity is scoped to the point (isolated_run restores): on a
+        # star there is no FlowNetwork, so "flow" degrades to "train".
+        flowmod.set_flow_mode(point.mode == "flow")
+        trainmod.set_coalescing(point.mode != "packet")
+        env = Environment()
+        nodes, switches = _build_topology(env, point.topology)
+        if point.fault is not None:
+            _install_fault(env, point.fault, point.seed, nodes, switches)
+        workload = make_workload(point.workload, env, nodes[0],
+                                 _pick_clients(nodes, spec.n_clients))
+        arrivals = make_arrivals(point.arrivals, point.seed,
+                                 point.offered_load)
+        gen = LoadGen(arrivals, make_mix(spec.mix), point.seed,
+                      spec.n_ops, spec.n_clients)
+        ev0 = env.events_processed
+        res = run_load(env, workload, gen, mode=spec.loop,
+                       think_ns=us(spec.think_us))
+        metrics = res.row()
+        metrics["per_client_ops"] = list(res.per_client_ops)
+        return {
+            "config": point.config(),
+            "metrics": metrics,
+            "sim_ns": env.now,
+            "events": env.events_processed - ev0,
+        }
+
+
+def _pool_worker(args) -> dict:
+    spec, point = args
+    return run_point(spec, point)
+
+
+@dataclass
+class FleetResult:
+    """An expanded, executed fleet: the spec and one row per point."""
+
+    spec: dict
+    rows: list
+
+    def row_cells(self, row: dict) -> dict:
+        cells = {c: row["config"][c] for c in _CONFIG_COLS}
+        cells.update({c: row["metrics"][c] for c in _METRIC_COLS})
+        cells.update({c: row[c] for c in _EXTRA_COLS})
+        return cells
+
+
+def run_fleet(spec: FleetSpec, parallel: int = 1) -> FleetResult:
+    """Run every grid point; rows come back in point (spec) order."""
+    points = spec.points()
+    if parallel > 1 and len(points) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=parallel) as pool:
+            rows = list(pool.map(_pool_worker,
+                                 [(spec, p) for p in points]))
+    else:
+        rows = [run_point(spec, p) for p in points]
+    return FleetResult(spec=spec.to_dict(), rows=rows)
+
+
+def render_json(result: FleetResult) -> str:
+    """The canonical results document: sorted keys, trailing newline,
+    nothing wall-clock-derived — byte-identical across reruns."""
+    return json.dumps({"spec": result.spec, "points": result.rows},
+                      indent=2, sort_keys=True) + "\n"
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def render_csv(result: FleetResult) -> str:
+    """One tidy row per grid point (config columns, then metrics)."""
+    columns = (*_CONFIG_COLS, *_METRIC_COLS, *_EXTRA_COLS)
+    lines = [",".join(columns)]
+    for row in result.rows:
+        cells = result.row_cells(row)
+        lines.append(",".join(_cell(cells[c]) for c in columns))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,45 @@
+"""repro.load — deterministic open-loop workload generation.
+
+Seeded arrival processes (:mod:`~repro.load.arrivals`: Poisson and
+self-similar Pareto-on/off), weighted op mixes
+(:mod:`~repro.load.mix`), the open-/closed-loop driver
+(:mod:`~repro.load.driver`) and the per-stack workload adapters
+(:mod:`~repro.load.workloads`: ORFA file ops, NBD block traffic,
+sockets request-response over MX/GM/TCP).
+
+The determinism contract: a schedule is a pure function of
+``(arrival process, mix, seed)`` — every generator owns string-seeded
+RNGs, so co-resident generators never perturb each other and the same
+spec replays byte-identically in any process.
+"""
+
+from .arrivals import (ArrivalProcess, LoadSpecError, ParetoOnOffArrivals,
+                       PoissonArrivals, make_arrivals)
+from .driver import (LATENCY_BOUNDS, LoadGen, LoadResult, ScheduledOp,
+                     jain_fairness, run_load)
+from .mix import MIXES, OpChoice, OpMix, make_mix
+from .workloads import (MAX_OP_BYTES, NbdWorkload, OrfaWorkload, RrWorkload,
+                        make_workload)
+
+__all__ = [
+    "ArrivalProcess",
+    "LATENCY_BOUNDS",
+    "LoadGen",
+    "LoadResult",
+    "LoadSpecError",
+    "MAX_OP_BYTES",
+    "MIXES",
+    "NbdWorkload",
+    "OpChoice",
+    "OpMix",
+    "OrfaWorkload",
+    "ParetoOnOffArrivals",
+    "PoissonArrivals",
+    "RrWorkload",
+    "ScheduledOp",
+    "jain_fairness",
+    "make_arrivals",
+    "make_mix",
+    "make_workload",
+    "run_load",
+]

@@ -1,0 +1,153 @@
+"""Deterministic open-loop arrival processes.
+
+An open-loop generator decides *when* requests enter the system from a
+pre-drawn schedule, independent of when earlier requests complete — the
+discipline that actually exposes saturation: once the service rate falls
+behind the offered rate, queues build and tail latency explodes, which a
+closed-loop client (who politely waits for each reply) can never show
+[Schroeder et al., NSDI'06].
+
+Two processes, both yielding integer-nanosecond absolute arrival times
+from a seeded :class:`random.Random` (string-seeded, so the stream is
+independent of ``PYTHONHASHSEED`` and identical on every platform):
+
+* :class:`PoissonArrivals` — exponential inter-arrivals at a fixed rate;
+  the memoryless baseline.
+* :class:`ParetoOnOffArrivals` — an on/off source with Pareto-distributed
+  period lengths (shape ``alpha`` <= 2 gives infinite variance), the
+  classic self-similar traffic construction [Willinger et al.,
+  SIGCOMM'95]: during ON periods requests arrive at a peak rate scaled
+  so the *long-run mean* equals the configured rate; OFF periods are
+  silent.
+
+Same ``(process, seed, rate)`` => byte-identical schedule, regardless of
+what else shares the process or the simulation Environment — each
+instance owns its RNG and never reads global randomness.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from ..errors import ReproError
+
+
+class LoadSpecError(ReproError):
+    """A malformed workload/arrival specification."""
+
+
+def _rng(kind: str, seed: int) -> random.Random:
+    # String seeding hashes via SHA-512 inside random.seed(version=2):
+    # stable across processes, platforms and PYTHONHASHSEED.
+    return random.Random(f"repro.load.{kind}.{seed}")
+
+
+class ArrivalProcess:
+    """Base: a reproducible stream of absolute arrival times (ns)."""
+
+    kind = "abstract"
+
+    def __init__(self, seed: int, rate_ops_per_s: float):
+        if rate_ops_per_s <= 0:
+            raise LoadSpecError(
+                f"offered rate must be positive, got {rate_ops_per_s}")
+        self.seed = seed
+        self.rate_ops_per_s = rate_ops_per_s
+
+    def iter_times(self):
+        """A fresh infinite iterator of absolute arrival times (int ns,
+        strictly increasing).  Each call restarts the stream from the
+        seed — two iterators from one process are identical."""
+        raise NotImplementedError
+
+    def times(self, n: int) -> list[int]:
+        """The first ``n`` arrival times."""
+        return list(itertools.islice(self.iter_times(), n))
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential inter-arrivals at ``rate_ops_per_s``."""
+
+    kind = "poisson"
+
+    def iter_times(self):
+        rng = _rng(self.kind, self.seed)
+        rate_per_ns = self.rate_ops_per_s / 1e9
+        t = 0
+        while True:
+            t += max(1, round(rng.expovariate(rate_per_ns)))
+            yield t
+
+
+class ParetoOnOffArrivals(ArrivalProcess):
+    """Self-similar on/off arrivals with Pareto period lengths.
+
+    ON and OFF period durations are drawn from Pareto distributions with
+    shape ``alpha`` (1 < alpha <= 2: finite mean, infinite variance) and
+    means ``on_mean_ns`` / ``off_mean_ns``.  Inside an ON period,
+    arrivals are evenly spaced at the peak rate
+    ``rate * (on_mean + off_mean) / on_mean`` so the long-run average
+    matches the configured offered rate while the burst structure stays
+    heavy-tailed at every timescale.
+    """
+
+    kind = "pareto_on_off"
+
+    def __init__(self, seed: int, rate_ops_per_s: float,
+                 alpha: float = 1.5, on_mean_ns: int = 2_000_000,
+                 off_mean_ns: int = 2_000_000):
+        super().__init__(seed, rate_ops_per_s)
+        if not 1.0 < alpha:
+            raise LoadSpecError(f"pareto shape must exceed 1, got {alpha}")
+        if on_mean_ns <= 0 or off_mean_ns <= 0:
+            raise LoadSpecError("on/off period means must be positive")
+        self.alpha = alpha
+        self.on_mean_ns = on_mean_ns
+        self.off_mean_ns = off_mean_ns
+
+    def _period(self, rng: random.Random, mean_ns: int) -> int:
+        # paretovariate(a) has scale 1 and mean a/(a-1); rescale so the
+        # drawn period has the configured mean.
+        scale = mean_ns * (self.alpha - 1.0) / self.alpha
+        return max(1, round(scale * rng.paretovariate(self.alpha)))
+
+    def iter_times(self):
+        rng = _rng(self.kind, self.seed)
+        duty = self.on_mean_ns / (self.on_mean_ns + self.off_mean_ns)
+        peak_rate_per_ns = (self.rate_ops_per_s / duty) / 1e9
+        spacing = max(1, round(1.0 / peak_rate_per_ns))
+        t = 0
+        while True:
+            on = self._period(rng, self.on_mean_ns)
+            # Evenly spaced arrivals while the source is ON.
+            for k in range(max(1, on // spacing)):
+                yield t + k * spacing
+            t += on + self._period(rng, self.off_mean_ns)
+
+
+_PROCESSES = {
+    cls.kind: cls for cls in (PoissonArrivals, ParetoOnOffArrivals)
+}
+
+
+def make_arrivals(spec: dict, seed: int,
+                  rate_ops_per_s: float) -> ArrivalProcess:
+    """Build an arrival process from a spec fragment.
+
+    ``spec`` is ``{"process": "poisson"}`` or ``{"process":
+    "pareto_on_off", "alpha": 1.5, ...}``; ``seed`` and the offered rate
+    come from the enclosing experiment point so one spec fragment can be
+    swept over many loads.
+    """
+    kind = spec.get("process", "poisson")
+    cls = _PROCESSES.get(kind)
+    if cls is None:
+        raise LoadSpecError(
+            f"unknown arrival process {kind!r}; known: "
+            f"{', '.join(sorted(_PROCESSES))}")
+    kwargs = {k: v for k, v in spec.items() if k != "process"}
+    try:
+        return cls(seed, rate_ops_per_s, **kwargs)
+    except TypeError as exc:
+        raise LoadSpecError(f"bad {kind} arrival spec {spec!r}: {exc}") from exc

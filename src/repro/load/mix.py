@@ -1,0 +1,90 @@
+"""Operation mixes: what each arriving request actually does.
+
+A mix is a weighted set of ``(op, size)`` choices — e.g. 80 % 4 KiB
+reads, 20 % 4 KiB writes — sampled by a seeded RNG that is private to
+the mix, so the drawn op sequence is a pure function of ``(mix, seed)``
+and never shifts when another generator shares the process.
+
+The op vocabulary is interpreted by the workload adapters
+(:mod:`repro.load.workloads`): ``read``/``write`` are data ops at the
+drawn size, ``stat`` is a metadata round-trip (size ignored), ``rr`` is
+one request-response exchange whose request is ``size`` bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..units import KiB
+from .arrivals import LoadSpecError
+
+OPS = ("read", "write", "stat", "rr")
+
+
+@dataclass(frozen=True)
+class OpChoice:
+    op: str
+    size: int
+    weight: float
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise LoadSpecError(
+                f"unknown op {self.op!r}; known: {', '.join(OPS)}")
+        if self.size < 0 or self.weight <= 0:
+            raise LoadSpecError(
+                f"op choice needs size >= 0 and weight > 0, got {self}")
+
+
+class OpMix:
+    """A named, weighted op distribution with deterministic sampling."""
+
+    def __init__(self, name: str, choices: list[OpChoice]):
+        if not choices:
+            raise LoadSpecError("an op mix needs at least one choice")
+        self.name = name
+        self.choices = tuple(choices)
+        self._weights = [c.weight for c in self.choices]
+
+    def sequence(self, seed: int, n: int) -> list[OpChoice]:
+        """The first ``n`` drawn ops for ``seed`` — a pure function."""
+        rng = random.Random(f"repro.load.mix.{self.name}.{seed}")
+        return rng.choices(self.choices, weights=self._weights, k=n)
+
+    def __repr__(self) -> str:
+        return f"OpMix({self.name!r}, {list(self.choices)!r})"
+
+
+#: The stock mixes experiment specs refer to by name.
+MIXES = {
+    # Pure sequential-style 4 KiB reads: the paper's file-access shape.
+    "read4k": OpMix("read4k", [OpChoice("read", 4 * KiB, 1.0)]),
+    # 80/20 read/write at 4 KiB — a block-store OLTP-ish mix.
+    "rw4k": OpMix("rw4k", [OpChoice("read", 4 * KiB, 4.0),
+                           OpChoice("write", 4 * KiB, 1.0)]),
+    # Large sequential reads (64 KiB) with occasional writes.
+    "stream64k": OpMix("stream64k", [OpChoice("read", 64 * KiB, 7.0),
+                                     OpChoice("write", 64 * KiB, 1.0)]),
+    # Metadata-heavy: the ORFA weakness the paper measures (no dcache).
+    "meta": OpMix("meta", [OpChoice("stat", 0, 3.0),
+                           OpChoice("read", 4 * KiB, 1.0)]),
+    # Request-response: 1 KiB requests (sockets latency workloads).
+    "rr1k": OpMix("rr1k", [OpChoice("rr", KiB, 1.0)]),
+}
+
+
+def make_mix(spec) -> OpMix:
+    """Resolve a mix spec: a stock name, or ``{"name": ..., "choices":
+    [{"op": ..., "size": ..., "weight": ...}, ...]}``."""
+    if isinstance(spec, str):
+        mix = MIXES.get(spec)
+        if mix is None:
+            raise LoadSpecError(
+                f"unknown mix {spec!r}; known: {', '.join(sorted(MIXES))}")
+        return mix
+    if isinstance(spec, dict) and "choices" in spec:
+        choices = [OpChoice(c["op"], int(c["size"]), float(c["weight"]))
+                   for c in spec["choices"]]
+        return OpMix(spec.get("name", "custom"), choices)
+    raise LoadSpecError(f"bad mix spec {spec!r}")

@@ -31,9 +31,8 @@ from .. import obs
 from ..cluster.node import star
 from ..errors import Eio
 from ..faults.plan import FaultPlan
+from ..fleet.isolate import isolated_run
 from ..hw.params import ReliabilityParams
-from ..mem.sglist import HOST_COPIES
-from ..obs import MetricsRegistry, install_registry, uninstall_registry
 from ..sim import Environment
 from ..sim.trace import render_trace
 from ..units import ms, us
@@ -190,15 +189,9 @@ def run_scenario(name: str, seed: int = 1, n_ops: int = 120,
         raise ValueError(f"unknown scenario {name!r}; "
                          f"known: {', '.join(SCENARIOS)}")
     _desc, arm = SCENARIOS[name]
-    registry = MetricsRegistry()
-    install_registry(registry)
-    # The host-copy accounting is process-global; zero it for the run so
-    # the metrics snapshot is identical across same-seed reruns, then
-    # restore the outer totals (a perf bench sharing the process keeps
-    # reading cumulative numbers).
-    _copies_base = HOST_COPIES.snapshot()
-    HOST_COPIES.reset()
-    try:
+    # One hermetic run: fresh registry, zeroed host-copy accounting,
+    # fresh-process id counters — see repro.fleet.isolate.
+    with isolated_run(observe=True) as registry:
         env = Environment()
         nodes, switch = star(env, 5)
         plan = FaultPlan(seed=seed)
@@ -261,10 +254,6 @@ def run_scenario(name: str, seed: int = 1, n_ops: int = 120,
             metrics_json=obs.snapshot_to_json(registry.snapshot()),
             duration_ns=env.now,
         )
-    finally:
-        HOST_COPIES.copies += _copies_base["copies"]
-        HOST_COPIES.nbytes += _copies_base["nbytes"]
-        uninstall_registry()
 
 
 def failover_bound_ns(params: ReplicaParams = CHAOS_PARAMS) -> int:

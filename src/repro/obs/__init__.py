@@ -50,6 +50,7 @@ from .registry import (
     metric_key,
     metrics_enabled,
     register_collector,
+    snapshot_quantile,
     snapshot_to_json,
     uninstall_registry,
 )
@@ -92,6 +93,7 @@ __all__ = [
     "metric_key",
     "metrics_enabled",
     "register_collector",
+    "snapshot_quantile",
     "snapshot_to_json",
     "span_begin",
     "span_end",

@@ -30,6 +30,7 @@ regardless of construction order.
 from __future__ import annotations
 
 import json
+import math
 from bisect import bisect_left
 from contextlib import contextmanager
 from typing import Callable, Optional, Sequence
@@ -53,6 +54,31 @@ LATENCY_BUCKETS_NS = (
 SIZE_BUCKETS = (
     64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304,
 )
+
+
+def _quantile(bounds: Sequence[int], bucket_counts: Sequence[int],
+              count: int, q: float) -> Optional[float]:
+    """Shared quantile kernel (see :meth:`Histogram.quantile`)."""
+    if not 0.0 <= q <= 1.0:
+        raise ObsError(f"quantile must be in [0, 1], got {q}")
+    if count == 0:
+        return None
+    rank = max(1, math.ceil(q * count))
+    cum = 0
+    for bound, c in zip(bounds, bucket_counts):
+        cum += c
+        if cum >= rank:
+            return bound
+    return math.inf
+
+
+def snapshot_quantile(hist_snapshot: dict, q: float) -> Optional[float]:
+    """:meth:`Histogram.quantile` over a *snapshot* dict (the
+    ``histograms[key]`` entry of a registry snapshot, including merged
+    per-shard snapshots) — same bucket-upper-bound semantics."""
+    bounds = [b for b, _c in hist_snapshot["buckets"]]
+    counts = [c for _b, c in hist_snapshot["buckets"]]
+    return _quantile(bounds, counts, hist_snapshot["count"], q)
 
 
 def metric_key(name: str, labels: dict) -> str:
@@ -132,6 +158,21 @@ class Histogram:
 
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The q-quantile with *bucket-upper-bound* semantics.
+
+        Returns the upper bound of the first bucket whose cumulative
+        count reaches rank ``ceil(q * count)`` (rank 1 for q == 0) — the
+        smallest bound b such that at least a q-fraction of observations
+        were <= b.  The true quantile lies at or below the returned
+        bound, so bucketed quantiles are conservative (never understate
+        a latency) and, for a fixed ladder, monotone in q and stable
+        under merges.  Observations past the last bound land in the
+        overflow bucket, for which no finite upper bound exists:
+        ``math.inf`` is returned.  An empty histogram returns ``None``.
+        """
+        return _quantile(self.bounds, self.bucket_counts, self.count, q)
 
     def snapshot(self) -> dict:
         return {

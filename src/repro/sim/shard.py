@@ -74,9 +74,9 @@ from typing import Any, Optional
 
 from .. import obs
 from ..errors import ShardError
+from ..fleet.isolate import isolated_run
 from ..hw.link import Link
 from ..hw.params import LinkParams
-from ..mem.sglist import HOST_COPIES
 from .engine import Environment
 from .border import BorderEnd, BorderLink
 
@@ -216,34 +216,32 @@ class _ShardRunner:
 
 def _worker_main(shard_id: int, scenario, conns: dict, ctrl) -> None:
     try:
-        # Scrub ambient observability state inherited across fork: this
-        # worker accounts only its own shard.
-        obs.uninstall_registry()
-        obs.uninstall_timeline()
-        HOST_COPIES.reset()
-        registry = None
-        if getattr(scenario, "observe", False):
-            registry = obs.install_registry()
-        env = Environment()
-        hub = BorderHub(env, conns)
-        ctx = scenario.build(shard_id, env, hub)
-        if hub.missing():
-            raise ShardError(
-                f"shard {shard_id} never built declared borders {hub.missing()}")
-        borders = [hub.borders[name] for name in sorted(hub.borders)]
-        runner = _ShardRunner(env, borders, ctrl)
-        nphases = scenario.nphases
-        for k in range(nphases):
-            programs = [env.process(gen, name=f"shard{shard_id}.p{k}")
-                        for gen in scenario.phase(shard_id, k, env, ctx)]
-            runner.run_phase(programs, last_phase=(k == nphases - 1))
-        ctrl.send(("result", {
-            "shard": shard_id,
-            "now": env.now,
-            "events_processed": env.events_processed,
-            "metrics": registry.snapshot() if registry is not None else None,
-            "payload": scenario.result(shard_id, env, ctx),
-        }))
+        # Scrub state inherited across fork (ambient observability,
+        # host-copy totals, id counters): this worker accounts only its
+        # own shard, from a fresh-process-equivalent slate.
+        with isolated_run(
+                observe=getattr(scenario, "observe", False)) as registry:
+            env = Environment()
+            hub = BorderHub(env, conns)
+            ctx = scenario.build(shard_id, env, hub)
+            if hub.missing():
+                raise ShardError(
+                    f"shard {shard_id} never built declared borders "
+                    f"{hub.missing()}")
+            borders = [hub.borders[name] for name in sorted(hub.borders)]
+            runner = _ShardRunner(env, borders, ctrl)
+            nphases = scenario.nphases
+            for k in range(nphases):
+                programs = [env.process(gen, name=f"shard{shard_id}.p{k}")
+                            for gen in scenario.phase(shard_id, k, env, ctx)]
+                runner.run_phase(programs, last_phase=(k == nphases - 1))
+            ctrl.send(("result", {
+                "shard": shard_id,
+                "now": env.now,
+                "events_processed": env.events_processed,
+                "metrics": registry.snapshot() if registry is not None else None,
+                "payload": scenario.result(shard_id, env, ctx),
+            }))
         ctrl.close()
     except BaseException:
         try:
@@ -424,13 +422,7 @@ def run_sequential(scenario) -> ShardResult:
     event time".  Returns a :class:`ShardResult` with a single
     pseudo-shard so callers compare the two modes uniformly.
     """
-    registry = None
-    installed = None
-    if getattr(scenario, "observe", False):
-        installed = obs.uninstall_registry()
-        HOST_COPIES.reset()
-        registry = obs.install_registry()
-    try:
+    def body(registry) -> ShardResult:
         env = Environment()
         hub = _LocalHub(env)
         ctxs = [scenario.build(sid, env, hub) for sid in range(scenario.nshards)]
@@ -455,11 +447,11 @@ def run_sequential(scenario) -> ShardResult:
             "metrics": registry.snapshot() if registry is not None else None,
             "payload": payloads,
         }])
-    finally:
-        if registry is not None:
-            obs.uninstall_registry()
-            if installed is not None:
-                obs.install_registry(installed)
+
+    if not getattr(scenario, "observe", False):
+        return body(None)
+    with isolated_run(observe=True) as registry:
+        return body(registry)
 
 
 def merge_trace_records(per_shard: list) -> list:

@@ -112,6 +112,60 @@ def test_histogram_buckets_and_overflow():
     assert h.mean() == snap["sum"] / 5
 
 
+def test_histogram_quantile_upper_bound_semantics():
+    # Known distribution: 1..1000 uniformly, one observation each, on a
+    # decade ladder.  The q-quantile is the upper bound of the first
+    # bucket whose cumulative count reaches ceil(q * 1000).
+    h = MetricsRegistry().histogram("lat", buckets=(10, 100, 500, 1000))
+    for v in range(1, 1001):
+        h.observe(v)
+    assert h.quantile(0.0) == 10       # rank 1 lands in the first bucket
+    assert h.quantile(0.005) == 10     # rank 5, cum 10 >= 5
+    assert h.quantile(0.01) == 10      # rank 10 == bucket boundary
+    assert h.quantile(0.011) == 100    # rank 11 spills to the next bucket
+    assert h.quantile(0.5) == 500
+    assert h.quantile(0.99) == 1000
+    assert h.quantile(1.0) == 1000
+    # Monotone in q for a fixed ladder.
+    qs = [h.quantile(q / 20) for q in range(21)]
+    assert qs == sorted(qs)
+
+
+def test_histogram_quantile_point_mass_and_overflow():
+    h = MetricsRegistry().histogram("lat", buckets=(10, 100))
+    assert h.quantile(0.5) is None  # empty
+    for _ in range(7):
+        h.observe(42)
+    assert h.quantile(0.0) == 100
+    assert h.quantile(0.5) == 100
+    assert h.quantile(1.0) == 100
+    h.observe(10_000)  # overflow bucket has no finite upper bound
+    assert h.quantile(1.0) == float("inf")
+    assert h.quantile(0.5) == 100
+    with pytest.raises(ObsError):
+        h.quantile(1.5)
+    with pytest.raises(ObsError):
+        h.quantile(-0.1)
+
+
+def test_snapshot_quantile_matches_live_and_survives_merge():
+    reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+    ha = reg_a.histogram("lat", buckets=(10, 100, 1000))
+    hb = reg_b.histogram("lat", buckets=(10, 100, 1000))
+    for v in (1, 5, 50, 200):
+        ha.observe(v)
+    for v in (3, 70, 800, 900):
+        hb.observe(v)
+    merged = obs.merge_snapshots([reg_a.snapshot(), reg_b.snapshot()])
+    hist = merged["histograms"]["lat"]
+    for q in (0.0, 0.25, 0.5, 0.75, 0.99, 1.0):
+        reference = MetricsRegistry().histogram("lat", buckets=(10, 100, 1000))
+        for v in (1, 5, 50, 200, 3, 70, 800, 900):
+            reference.observe(v)
+        assert obs.snapshot_quantile(hist, q) == reference.quantile(q)
+    assert obs.snapshot_quantile(ha.snapshot(), 0.5) == ha.quantile(0.5)
+
+
 def test_histogram_bucket_mismatch_raises():
     reg = MetricsRegistry()
     reg.histogram("lat", buckets=(1, 2))
