@@ -439,6 +439,55 @@ def _bench_topo(quick: bool = False) -> dict:
     return bench_topo(quick=quick)
 
 
+def _bench_topo_sharded(quick: bool = False) -> dict:
+    """``topo_sharded`` section: pod-sharded fabric run vs sequential.
+
+    The congested permutation again, but split across two worker
+    processes along the pod boundary (``Fabric.propose_pods``), with
+    core-layer trunks as border links.  The gate is the identity check:
+    per-shard completion tables, the global clock and the total event
+    count must match the in-process sequential reference exactly (the
+    ranked border-commit order makes all three deterministic).  The
+    speedup is informational only — two pods of a small fabric don't
+    amortise fork cost.
+    """
+    from .topo import run_topo_sharded
+
+    k = 4 if quick else 8
+    size = 64 * KiB if quick else 256 * KiB
+    res = run_topo_sharded(k, size, nshards=2, verify=True)
+    res.pop("completions", None)  # bulky; identity already checked
+    res["cores"] = os.cpu_count() or 1
+    return res
+
+
+def _bench_topo_full(quick: bool = False) -> dict:
+    """``topo_full`` section: the 1024-host interactive-scale run.
+
+    k=16 (1024 hosts, 1280 switches) congested cross-pod permutation in
+    flow mode — the workload the incremental component-local water-fill
+    exists for.  Skipped in ``--quick`` (schema stays stable; the
+    section records ``skipped: true``) because even at ~6 s it dwarfs
+    the CI smoke budget.
+    """
+    if quick:
+        return {"skipped": True}
+    from .topo import run_topo
+
+    res = run_topo(16, "congested", "flow")
+    return {
+        "skipped": False,
+        "k": res["k"],
+        "hosts": res["hosts"],
+        "size": res["size"],
+        "now_ns": res["now"],
+        "events": res["events"],
+        "events_per_mib": round(res["events_per_mib"], 1),
+        "wall_s": res["wall_s"],
+        "flow_stats": res["flow_stats"],
+    }
+
+
 # ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
@@ -462,6 +511,8 @@ def run_perf(quick: bool = False) -> dict:
         "packet_train": bench_packet_train(quick=quick),
         "sharded": bench_sharded(quick=quick),
         "topo": _bench_topo(quick=quick),
+        "topo_sharded": _bench_topo_sharded(quick=quick),
+        "topo_full": _bench_topo_full(quick=quick),
     }
     eng = report["engine"]
     alloc = report["allocator"]
@@ -493,6 +544,11 @@ def run_perf(quick: bool = False) -> dict:
         "topo_events_per_mib_flow": tp["events_per_mib_flow"],
         "topo_identity_identical": (tp["identity_completions_identical"]
                                     and tp["identity_obs_identical"]),
+        "topo_waterfill_reduction": tp["waterfill_reduction"],
+        "topo_sharded_identical": report["topo_sharded"]["identical"],
+        "topo_sharded_speedup": report["topo_sharded"]["speedup"],
+        "topo_full_wall_s": (None if report["topo_full"]["skipped"]
+                             else report["topo_full"]["wall_s"]),
     }
     return report
 
@@ -532,6 +588,12 @@ def main(argv: list[str] | None = None) -> int:
         f"fabric flows     : {summary['topo_event_reduction']:>12.2f} x fewer engine events "
         f"({summary['topo_events_per_mib_flow']:,.0f} events/MiB), "
         f"identity={summary['topo_identity_identical']}",
+        f"fabric waterfill : {summary['topo_waterfill_reduction']:>12.2f} x fewer flows re-divided "
+        f"(component-local vs global)",
+        f"fabric sharded   : identical={summary['topo_sharded_identical']}, "
+        f"{summary['topo_sharded_speedup']:.2f} x vs sequential"
+        + (f"; 1024-host full run {summary['topo_full_wall_s']:.1f} s"
+           if summary['topo_full_wall_s'] is not None else ""),
     ):
         print(line, file=sys.stderr if args.out == "-" else sys.stdout)
     return 0

@@ -362,6 +362,29 @@ class Fabric:
             min_cut_propagation_ns=self.params.inter_propagation_ns)
 
 
+class _NowhereLocal(dict):
+    """An assignment under which no element is ever local: ``get``
+    returns a shard id that matches nothing, so builders walk the full
+    declaration sequence without instantiating any hardware."""
+
+    def get(self, key, default=None):
+        return -1
+
+
+def plan_fabric(builder, *args, **kwargs):
+    """Build only the *abstract* topology of ``builder`` — no hosts,
+    switches, links or flow engine are created.
+
+    The returned :class:`Fabric` supports everything derived from the
+    declaration sequence (:meth:`Fabric.propose_pods`,
+    :meth:`Fabric.topolinks`, :meth:`Fabric.entities`, the locator), at
+    planning cost instead of build cost: the sharded benchmark uses it
+    to compute the pod assignment and the border list before any worker
+    pays for a partial build."""
+    return builder(Environment(), *args, shard_id=0,
+                   assignment=_NowhereLocal(), **kwargs)
+
+
 # -- builders --------------------------------------------------------------
 
 

@@ -51,6 +51,19 @@ Equivalence contract (verified by tests/test_flow.py):
 
 All bookkeeping uses exact rationals; no floats touch the clock.
 
+Rate allocation is **incremental and component-local**: an arrival,
+departure or de-coalescing only re-divides the connected component of
+flows reachable from the touched link directions through shared hops —
+a disjoint permutation pair costs O(1), not O(n).  The water-fill
+inside a component selects each level's bottleneck with integer
+cross-multiplication (no per-direction ``Fraction`` division) and
+commits the level share as one canonical ``Fraction``, so every
+``rate``/``eta``/``done`` value is bit-identical to the from-scratch
+global algorithm (:func:`waterfill_reference`, which the property tests
+compare against): the max-min rate vector is unique, and untouched
+components keep rates — and therefore ETAs and settled progress —
+unchanged by definition.
+
 :func:`set_flow_mode` mirrors :func:`repro.hw.train.set_coalescing` —
 the A/B switch for equivalence tests and ``repro.bench.perf``.
 """
@@ -59,7 +72,8 @@ from __future__ import annotations
 
 import itertools
 from fractions import Fraction
-from typing import Callable, Optional
+from heapq import heappop, heappush
+from typing import Callable, Iterable, Optional
 
 from .. import obs
 from ..sim import Environment
@@ -138,8 +152,8 @@ class _Flow:
     """One admitted reservation."""
 
     __slots__ = ("id", "src_nic", "src_port", "dst_nic", "dst_port", "match",
-                 "npackets", "wire_size", "hops", "dirres", "start", "per",
-                 "uniform", "full_rate", "rate", "done", "last", "eta",
+                 "npackets", "wire_size", "total", "hops", "dirres", "start",
+                 "per", "uniform", "full_rate", "rate", "done", "last", "eta",
                  "pristine", "wake", "carried")
 
     def __init__(self, fid: int, src_nic: int, desc, npackets: int,
@@ -152,6 +166,7 @@ class _Flow:
         self.match = desc.match
         self.npackets = npackets
         self.wire_size = wire_size
+        self.total = npackets * wire_size  # bytes carried analytically
         self.hops = hops  # list of (link, from_end, switch-or-None)
         self.dirres = dirres  # parallel list of _DirRes
         self.start = start
@@ -168,6 +183,56 @@ class _Flow:
         self.carried = 0
 
 
+def waterfill_reference(flows: Iterable[_Flow]) -> dict[int, Fraction]:
+    """From-scratch global max-min water-fill over ``flows``.
+
+    This is the original O(flows × dirs × levels) algorithm, kept as a
+    pure function (no flow state is mutated) so the incremental
+    component-local engine can be checked against it: set
+    ``FlowNetwork._verify_reference = True`` and every flush asserts
+    that all committed rates equal this reference exactly, as
+    ``Fraction`` values.  The max-min rate vector is unique — after one
+    member of a bottleneck is fixed at ``avail/count`` the remaining
+    members still sit at ``(avail - share)/(count - 1) == share`` — so
+    any tie-break or component order must land on these rates.
+    """
+    flows = list(flows)
+    rates: dict[int, Fraction] = {}
+    if not flows:
+        return rates
+    dirs: dict[int, _DirRes] = {}
+    count: dict[int, int] = {}
+    avail: dict[int, Fraction] = {}
+    for f in flows:
+        for dr in f.dirres:
+            if dr.seq not in dirs:
+                dirs[dr.seq] = dr
+                count[dr.seq] = 0
+                avail[dr.seq] = dr.cap
+            count[dr.seq] += 1
+    unfixed = {f.id for f in flows}
+    order = sorted(dirs)
+    while unfixed:
+        bottleneck = None
+        share = None
+        for seq in order:
+            if count[seq] <= 0:
+                continue
+            s = avail[seq] / count[seq]
+            if share is None or s < share:
+                share, bottleneck = s, seq
+        if bottleneck is None:  # pragma: no cover - defensive
+            break
+        for f in dirs[bottleneck].members:
+            if f.id in unfixed:
+                rates[f.id] = share
+                unfixed.discard(f.id)
+                for dr in f.dirres:
+                    avail[dr.seq] -= share
+                    count[dr.seq] -= 1
+    return rates
+
+
 class FlowNetwork:
     """The fabric-wide reservation table and its single timer.
 
@@ -175,6 +240,10 @@ class FlowNetwork:
     their ``flownet`` attribute (``None`` outside fabrics, so the paper's
     two-node and star figures never touch this code).
     """
+
+    #: Debug hook: when True, every flush re-derives all rates with
+    #: :func:`waterfill_reference` and asserts exact equality.
+    _verify_reference = False
 
     def __init__(self, env: Environment, params: FlowParams = DEFAULT_FLOW,
                  path_fn: Optional[Callable] = None, name: str = "fab"):
@@ -190,8 +259,25 @@ class FlowNetwork:
         self._dir_seq = itertools.count()
         self._timer_gen = 0
         self._dirty = False
+        # Directions whose membership changed since the last flush, in
+        # touch order (deterministic: driven by the event schedule).
+        self._touched: list[_DirRes] = []
+        self._touched_seqs: set[int] = set()
+        # Lazy global ETA heap: one (eta, flow id) entry pushed per ETA
+        # assignment; entries whose flow is gone or re-timed are dropped
+        # when they surface.
+        self._eta_heap: list[tuple[int, int]] = []
         self._m_flows = obs.counter("net.flows", fabric=name)
         self._m_active = obs.gauge("net.flows_active", fabric=name)
+        self._m_flush = obs.counter("net.flow_flush", fabric=name)
+        self._m_recompute = obs.counter("net.flow_recompute", fabric=name)
+        # Water-fill work accounting: flows actually re-divided per
+        # flush vs. what the global algorithm would have re-divided.
+        # The ratio is the CI-gated work-reduction floor.
+        self._m_wf_touched = obs.counter("net.flow_waterfill_flows",
+                                         fabric=name, scope="touched")
+        self._m_wf_global = obs.counter("net.flow_waterfill_flows",
+                                        fabric=name, scope="global")
 
     # -- admission ---------------------------------------------------------
 
@@ -271,7 +357,7 @@ class FlowNetwork:
             dr.acc = 0  # reservation epoch change
         self._m_flows.inc()
         self._m_active.set(len(self._flows))
-        self._settle_all(now)
+        self._touch(dirres)
         self._schedule_recompute()
         self._schedule_down_guard(flow, now)
         return flow
@@ -297,15 +383,35 @@ class FlowNetwork:
 
     # -- rate allocation ---------------------------------------------------
 
-    def _settle_all(self, now: int) -> None:
-        for flow in self._flows.values():
-            dt = now - flow.last
-            if dt:
-                flow.done += flow.rate * dt
-                flow.last = now
-                total = flow.npackets * flow.wire_size
-                if flow.done > total:
-                    flow.done = Fraction(total)
+    def _touch(self, dirres) -> None:
+        """Record directions whose membership changed; the next flush
+        re-divides only the components reachable from them."""
+        touched_seqs = self._touched_seqs
+        touched = self._touched
+        for dr in dirres:
+            if dr.seq not in touched_seqs:
+                touched_seqs.add(dr.seq)
+                touched.append(dr)
+
+    def _settle(self, flow: _Flow, now: int) -> None:
+        """Integrate one flow's progress to ``now`` at its current rate.
+
+        ``done <= total`` holds by construction while a flow is live:
+        ``eta = last + ceil((total - done)/rate)`` means progress at
+        any instant strictly *before* the ETA is strictly below total.
+        Overshoot (the ceil rounding up to a packet-grain instant) is
+        only possible when settling exactly *at or past* the flow's own
+        completion instant — a de-coalescing or neighbour arrival on
+        that nanosecond — and the clamp below commits exactly ``total``
+        there, never silently losing progress mid-life."""
+        dt = now - flow.last
+        if dt:
+            flow.done += flow.rate * dt
+            flow.last = now
+            if flow.done > flow.total:
+                assert flow.eta is not None and now >= flow.eta, \
+                    "water-fill overshot before the flow's ETA"
+                flow.done = Fraction(flow.total)
 
     def _schedule_recompute(self) -> None:
         """Defer the water-fill to the end of the current instant.
@@ -313,9 +419,10 @@ class FlowNetwork:
         Rates only matter once time advances, so every arrival,
         departure and de-coalescing that lands on the same nanosecond
         shares ONE recomputation — a synchronized 1024-flow permutation
-        pays for one water-fill, not 1024.  Callers must have settled
-        progress (``_settle_all``) *before* mutating membership; the
-        flush then integrates nothing (dt = 0) and only re-divides."""
+        pays for one flush, not 1024.  Callers must have settled the
+        flows whose progress they read *before* mutating membership;
+        the flush settles every affected flow itself (dt = 0 for those
+        already settled this instant)."""
         if not self._dirty:
             self._dirty = True
             self.env.call_at(self.env.now, self._flush)
@@ -325,70 +432,170 @@ class FlowNetwork:
             return
         self._dirty = False
         now = self.env.now
-        self._settle_all(now)
-        self._recompute(now)
-
-    def _recompute(self, now: int) -> None:
-        """Max-min fair water-filling over the reserved directions.
-
-        Exact rational arithmetic; hop iteration order is the
-        deterministic ``_DirRes.seq``.  Runs only from :meth:`_flush` —
-        once per instant that changed the flow set, never per packet.
-        """
-        flows = list(self._flows.values())
-        if not flows:
+        touched = self._touched
+        self._touched = []
+        self._touched_seqs = set()
+        self._m_flush.inc()
+        if not self._flows:
             self._timer_gen += 1  # cancels any armed timer at fire time
+            return
+        self._m_wf_global.inc(len(self._flows))
+        # Connected components of the flow<->direction sharing graph,
+        # discovered by BFS from the touched directions over live
+        # membership.  A departed flow touched all its directions, so
+        # the pieces of a split component are each reached.  Iteration
+        # order is deterministic (touch order, member list order).
+        seen_dirs: set[int] = set()
+        seen_flows: set[int] = set()
+        components: list[list[_Flow]] = []
+        for root in touched:
+            if root.seq in seen_dirs:
+                continue
+            seen_dirs.add(root.seq)
+            if not root.members:
+                continue
+            comp: list[_Flow] = []
+            stack = [root]
+            while stack:
+                for f in stack.pop().members:
+                    if f.id not in seen_flows:
+                        seen_flows.add(f.id)
+                        comp.append(f)
+                        for d2 in f.dirres:
+                            if d2.seq not in seen_dirs:
+                                seen_dirs.add(d2.seq)
+                                stack.append(d2)
+            if comp:
+                components.append(comp)
+        for comp in components:
+            for f in comp:
+                self._settle(f, now)
+            self._waterfill(comp, now)
+        if self._verify_reference:
+            self._check_reference()
+        # Re-arm the completion timer exactly as the global algorithm
+        # did: every flush supersedes the armed timer and schedules at
+        # the minimum live ETA, so the engine's event schedule — and
+        # with it every trace and event count — is unchanged.
+        self._timer_gen += 1
+        next_eta = self._min_eta()
+        if next_eta is not None:
+            self.env.call_at(next_eta, self._tick, self._timer_gen)
+
+    def _waterfill(self, comp: list[_Flow], now: int) -> None:
+        """Max-min fair water-filling over one component.
+
+        Exact rational arithmetic committed per level; the bottleneck
+        scan compares ``avail/count`` ratios by integer
+        cross-multiplication so no intermediate ``Fraction`` is built.
+        ``share = Fraction(best_n, best_d)`` normalizes to the same
+        canonical rational ``avail / count`` produced, keeping rates
+        bit-identical to :func:`waterfill_reference`.
+        """
+        self._m_recompute.inc()
+        self._m_wf_touched.inc(len(comp))
+        if len(comp) == 1:
+            # Singleton component: a flow sharing no direction runs at
+            # its path bottleneck capacity.  O(1) — the common case for
+            # permutation traffic on a non-blocking fabric.
+            f = comp[0]
+            f.rate = f.full_rate
+            self._commit_eta(f, now)
             return
         dirs: dict[int, _DirRes] = {}
         count: dict[int, int] = {}
         avail: dict[int, Fraction] = {}
-        for f in flows:
+        for f in comp:
             for dr in f.dirres:
-                if dr.seq not in dirs:
-                    dirs[dr.seq] = dr
-                    count[dr.seq] = 0
-                    avail[dr.seq] = dr.cap
-                count[dr.seq] += 1
-        unfixed = {f.id for f in flows}
+                seq = dr.seq
+                if seq not in dirs:
+                    dirs[seq] = dr
+                    count[seq] = 0
+                    avail[seq] = dr.cap
+                count[seq] += 1
+        unfixed = {f.id for f in comp}
         order = sorted(dirs)
         while unfixed:
             bottleneck = None
-            share = None
+            best_n = best_d = 1
             for seq in order:
-                if count[seq] <= 0:
+                c = count[seq]
+                if c <= 0:
                     continue
-                s = avail[seq] / count[seq]
-                if share is None or s < share:
-                    share, bottleneck = s, seq
+                a = avail[seq]
+                n = a.numerator
+                d = a.denominator * c
+                # n/d < best_n/best_d, without building Fractions.
+                if bottleneck is None or n * best_d < best_n * d:
+                    best_n, best_d, bottleneck = n, d, seq
             if bottleneck is None:  # pragma: no cover - defensive
                 break
-            fixed_here = [f for f in dirs[bottleneck].members
-                          if f.id in unfixed]
-            for f in fixed_here:
-                f.rate = share
-                unfixed.discard(f.id)
-                for dr in f.dirres:
-                    avail[dr.seq] -= share
-                    count[dr.seq] -= 1
-        next_eta = None
-        for f in flows:
-            if f.rate != f.full_rate:
-                f.pristine = False
-            total = f.npackets * f.wire_size
-            f.eta = now + _ceil((total - f.done) / f.rate)
-            if next_eta is None or f.eta < next_eta:
-                next_eta = f.eta
-        self._timer_gen += 1
-        self.env.call_at(next_eta, self._tick, self._timer_gen)
+            share = Fraction(best_n, best_d)
+            for f in dirs[bottleneck].members:
+                if f.id in unfixed:
+                    f.rate = share
+                    unfixed.discard(f.id)
+                    for dr in f.dirres:
+                        avail[dr.seq] -= share
+                        count[dr.seq] -= 1
+        for f in comp:
+            self._commit_eta(f, now)
+
+    def _commit_eta(self, f: _Flow, now: int) -> None:
+        if f.rate != f.full_rate:
+            f.pristine = False
+        f.eta = now + _ceil((f.total - f.done) / f.rate)
+        heappush(self._eta_heap, (f.eta, f.id))
+
+    def _min_eta(self) -> Optional[int]:
+        """Earliest live ETA; drops stale heap entries on the way."""
+        heap = self._eta_heap
+        flows = self._flows
+        while heap:
+            eta, fid = heap[0]
+            f = flows.get(fid)
+            if f is not None and f.eta == eta:
+                return eta
+            heappop(heap)
+        if flows:  # pragma: no cover - every live flow keeps an entry
+            return min(f.eta for f in flows.values())
+        return None
+
+    def _check_reference(self) -> None:
+        expect = waterfill_reference(self._flows.values())
+        for f in self._flows.values():
+            if f.rate != expect[f.id]:
+                raise AssertionError(
+                    f"flow {f.id}: incremental rate {f.rate} != "
+                    f"reference {expect[f.id]}")
 
     def _tick(self, gen: int) -> None:
         if gen != self._timer_gen:
             return  # superseded by a later recompute
         now = self.env.now
-        self._settle_all(now)
-        finished = [f for f in self._flows.values()
-                    if f.done >= f.npackets * f.wire_size]
-        for f in finished:
+        heap = self._eta_heap
+        flows = self._flows
+        due: list[_Flow] = []
+        due_ids: set[int] = set()
+        while heap:
+            eta, fid = heap[0]
+            f = flows.get(fid)
+            if f is None or f.eta != eta:
+                heappop(heap)
+                continue
+            if eta > now:
+                break
+            heappop(heap)
+            if fid not in due_ids:
+                due_ids.add(fid)
+                due.append(f)
+        due.sort(key=lambda f: f.id)  # admission order, as before
+        for f in due:
+            # Completing exactly at the ETA: the ceil'd instant is at
+            # or past the rational finish time, so the flow carried all
+            # its bytes.
+            f.done = Fraction(f.total)
+            f.last = now
             self._complete(f)
         self._schedule_recompute()
 
@@ -414,6 +621,7 @@ class FlowNetwork:
         for dr in flow.dirres:
             dr.members.remove(flow)
             dr.acc = 0  # reservation epoch change
+        self._touch(flow.dirres)
         self._m_active.set(len(self._flows))
 
     def _finish(self, flow: _Flow, carried: int, at: int) -> None:
@@ -449,7 +657,7 @@ class FlowNetwork:
         """
         env = self.env
         now = env.now
-        self._settle_all(now)
+        self._settle(flow, now)
         obs.counter("net.flow_decoalesce", fabric=self.name,
                     reason=reason).inc()
         exact = (flow.pristine and flow.uniform and onset is not None

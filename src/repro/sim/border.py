@@ -10,7 +10,7 @@ before ``t + propagation_ns``, so neighbours may safely run that far
 ahead (FireSim applies the same token-per-link-latency idea between
 distributed FPGA simulators).
 
-Two pieces live here:
+Three pieces live here:
 
 * :class:`BorderLink` — a ``Link`` subclass for a cut wire.  The local
   endpoint (NIC or switch port) attaches normally; the remote end is a
@@ -31,6 +31,10 @@ Two pieces live here:
   only processes events *strictly before* its granted horizon, so an
   item arriving exactly at the horizon can never be missed.
 
+* :class:`AsyncSender` — the per-worker outbound writer thread, so a
+  full OS pipe can never deadlock two workers that are both mid-send
+  at each other (the event loop keeps draining inbound instead).
+
 Everything that crosses the pipe is plain picklable data: ``Message``,
 ``PacketTrain`` and ``TrainTruncation`` descriptors, with payloads
 materialized chunk-by-chunk by :meth:`PayloadRef.__reduce__` (chunk
@@ -40,6 +44,8 @@ the sequential run byte-for-byte).
 
 from __future__ import annotations
 
+import queue
+import threading
 from typing import Any, Callable, Optional
 
 from ..errors import NetworkError, SimulationError
@@ -52,15 +58,72 @@ def _remote_stub(item: Any) -> None:  # pragma: no cover - never invoked
     raise SimulationError("remote border endpoint invoked locally")
 
 
+class AsyncSender:
+    """Dedicated outbound writer thread for a worker's border pipes.
+
+    A ``Connection.send`` blocks when the OS pipe buffer is full — and a
+    wire item carrying a large payload (a 256 KiB train is one pickled
+    message) can exceed the buffer outright.  If two workers are both
+    mid-``send`` on borders pointing at each other, neither is reading,
+    and the run deadlocks; at fat-tree k=16 this is the common case,
+    not a corner.  Routing every border write through one background
+    thread breaks the cycle: the worker's event loop never blocks on a
+    write, so it always returns to ``mpc.wait``/``pump`` and drains its
+    inbound pipes, which is exactly what unblocks the *peer's* writer.
+
+    One thread per worker keeps the global posting order, which
+    preserves the per-pipe FIFO the protocol relies on (items flushed
+    before the null token that vouches for them).  The quiescence check
+    is unaffected: ``sent`` counts at post time can only make the
+    coordinator see ``sent > received`` and keep waiting, never declare
+    a false idle.
+    """
+
+    def __init__(self) -> None:
+        self._q: queue.SimpleQueue = queue.SimpleQueue()
+        self._exc: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="border-sender", daemon=True)
+        self._thread.start()
+
+    def post(self, conn, msg: tuple) -> None:
+        """Queue ``msg`` for ``conn``; raises a prior writer failure."""
+        if self._exc is not None:
+            raise self._exc
+        self._q.put((conn, msg))
+
+    def _run(self) -> None:
+        while True:
+            entry = self._q.get()
+            if entry is None:
+                return
+            conn, msg = entry
+            try:
+                conn.send(msg)
+            except BaseException as exc:  # pragma: no cover - pipe teardown
+                self._exc = exc
+                return
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Flush the queue and join the writer (end of worker life)."""
+        self._q.put(None)
+        self._thread.join(timeout=timeout_s)
+
+
 class BorderEnd:
     """One shard's half of a cut link: pipe, queues, horizons."""
 
-    def __init__(self, conn, name: str, index: int, lookahead_ns: int):
+    def __init__(self, conn, name: str, index: int, lookahead_ns: int,
+                 post: Optional[Callable[[tuple], None]] = None):
         if lookahead_ns <= 0:
             raise SimulationError(
                 f"border {name!r} needs positive lookahead, got {lookahead_ns}"
             )
         self.conn = conn
+        #: Outbound write path: an :class:`AsyncSender` post in workers
+        #: (a blocking pipe write must never stall the event loop — see
+        #: AsyncSender), a direct ``conn.send`` otherwise.
+        self._post = post if post is not None else conn.send
         self.name = name
         #: Stable commit-order index (sorted border names within the
         #: shard) so same-timestamp arrivals from different borders are
@@ -94,9 +157,9 @@ class BorderEnd:
         """Send queued items.  Must precede :meth:`grant` — the pipe is
         FIFO, so a grant is only read after every item it vouches for."""
         if self._outbox:
-            send = self.conn.send
+            post = self._post
             for when, item in self._outbox:
-                send(("i", when, item))
+                post(("i", when, item))
             self.sent += len(self._outbox)
             self._outbox.clear()
 
@@ -104,7 +167,7 @@ class BorderEnd:
         """Send a null token if it improves on the last one."""
         if horizon > self.granted:
             self.granted = horizon
-            self.conn.send(("h", horizon))
+            self._post(("h", horizon))
 
     # -- inbound ----------------------------------------------------------
 
@@ -150,7 +213,7 @@ class BorderEnd:
     # -- barrier support --------------------------------------------------
 
     def send_mark(self) -> None:
-        self.conn.send(("m",))
+        self._post(("m",))
 
     def drain_to_mark(self) -> None:
         """Blocking-read until the peer's drain marker.

@@ -452,6 +452,42 @@ class Environment:
             heap.extend(pending)
             heapq.heapify(heap)
 
+    def schedule_ranked(
+            self,
+            entries: Iterable[tuple[int, int, Callable[..., Any], tuple]],
+    ) -> None:
+        """Schedule ``(when, rank, fn, args)`` callbacks with explicit
+        same-timestamp ordering.
+
+        Ordinary scheduling breaks timestamp ties by insertion order
+        (the monotone ``_seq`` counter), which is deterministic only
+        when the *insertion* order is.  A sharded worker commits
+        cross-border arrivals at window boundaries whose placement
+        depends on wall-clock pipe batching, so insertion-order ties
+        would leak wall-clock into the simulation.  Callers instead
+        supply a ``rank`` that must be **negative** (sorting before
+        every insertion-ordered event at the same timestamp — the
+        conservative protocol's lookahead means the matching sequential
+        arrival was scheduled at the send instant, at least one border
+        propagation delay before any same-instant local competitor) and
+        **unique** across the run.  Entries must be strictly in the
+        future; a conservative worker only learns of an arrival at
+        ``t`` while its clock is below ``t``.
+        """
+        heap = self._heap
+        now = self._now
+        for when, rank, fn, args in entries:
+            if when <= now:
+                raise SimulationError(
+                    f"schedule_ranked entry at {when} is not in the future "
+                    f"(now {now})")
+            if rank >= 0:
+                raise SimulationError(
+                    f"schedule_ranked rank must be negative, got {rank}")
+            call = _Call(self, fn, args)
+            call._scheduled = True
+            heapq.heappush(heap, (when, rank, call))
+
     def step(self) -> None:
         """Pop and process the next event; raises if both queues are empty."""
         heap = self._heap

@@ -19,7 +19,7 @@ Scenario protocol (duck-typed; instances must survive ``fork``):
     Construct this shard's slice of the topology.  Cut links are
     obtained from ``hub.border_link(name, params, local_end)``; the hub
     is a :class:`BorderHub` in workers and a :class:`_LocalHub` (which
-    hands both "halves" the same ordinary Link) under
+    hands both "halves" the same :class:`_SequentialCutLink`) under
     :func:`run_sequential` — scenario code cannot tell the difference.
 ``phase(shard_id, phase_idx, env, ctx) -> [generator, ...]``
     Programs to run in this phase.  A phase ends when every program of
@@ -31,10 +31,20 @@ Synchronization
 ---------------
 
 Within a phase each worker loops: commit staged cross-border arrivals
-strictly below ``limit = min(inbound horizons)``, run the local event
-window up to ``limit`` (:meth:`Environment.run_window`), flush newly
-emitted wire items, then grant each neighbour
-``min(next local event, limit) + propagation_ns`` and block until a
+strictly below ``limit = min(inbound horizons)`` — with explicit
+negative heap ranks (:meth:`Environment.schedule_ranked`), so a
+same-instant arbitration between a border arrival and a local event
+resolves identically no matter which sync window the wall-clock grant
+batching landed the item in.  The sequential reference delivers over
+its cut links with the *same* rank rule (:class:`_SequentialCutLink`),
+because the plain insertion-sequence order is information a parallel
+run cannot reconstruct; with one deterministic tie rule on both sides
+the two executions realize the same linearization of the same causal
+partial order, and the identity gate demands byte-equality at every
+scale.  After committing, the worker runs the local event window up to
+``limit`` (:meth:`Environment.run_window`), flushes newly
+emitted wire items, then grants each neighbour
+``min(next local event, limit) + propagation_ns`` and blocks until a
 neighbour's pipe has news.  Grants are monotone and positive-lookahead,
 so the classic Chandy–Misra–Bryant liveness argument applies: the
 minimum granted horizon rises by at least one propagation delay per
@@ -73,14 +83,19 @@ import traceback
 from typing import Any, Optional
 
 from .. import obs
-from ..errors import ShardError
+from ..errors import NetworkError, ShardError
 from ..fleet.isolate import isolated_run
 from ..hw.link import Link
 from ..hw.params import LinkParams
 from .engine import Environment
-from .border import BorderEnd, BorderLink
+from .border import AsyncSender, BorderEnd, BorderLink
 
 _INF = float("inf")
+
+#: Base heap rank for cross-border arrivals: negative (sorts before all
+#: insertion-sequenced local events at the same timestamp) with room
+#: for ``border_index << 32 | per_border_seq`` to stay below zero.
+_BORDER_RANK = -(1 << 62)
 
 #: Default wall-clock budget for a sharded run; generous because CI
 #: containers can be slow, but finite so a protocol bug fails loudly
@@ -91,9 +106,11 @@ DEFAULT_TIMEOUT_S = 300.0
 class BorderHub:
     """Worker-side factory for this shard's cut links."""
 
-    def __init__(self, env: Environment, conns: dict):
+    def __init__(self, env: Environment, conns: dict,
+                 sender: Optional[AsyncSender] = None):
         self.env = env
         self._conns = conns
+        self._sender = sender
         self._indices = {name: i for i, name in enumerate(sorted(conns))}
         self.borders: dict[str, BorderEnd] = {}
 
@@ -104,7 +121,10 @@ class BorderHub:
             raise ShardError(f"scenario built undeclared border {name!r}")
         if name in self.borders:
             raise ShardError(f"border {name!r} built twice")
-        end = BorderEnd(conn, name, self._indices[name], params.propagation_ns)
+        post = (None if self._sender is None
+                else lambda msg, _c=conn: self._sender.post(_c, msg))
+        end = BorderEnd(conn, name, self._indices[name],
+                        params.propagation_ns, post=post)
         self.borders[name] = end
         return BorderLink(self.env, params, end, local_end=local_end, name=name)
 
@@ -112,20 +132,99 @@ class BorderHub:
         return sorted(set(self._conns) - set(self.borders))
 
 
+class _SequentialCutLink(Link):
+    """Sequential-reference cut link with border-ranked deliveries.
+
+    The sharded engine commits a border arrival onto the receiving
+    shard's heap with an explicit negative rank — (border index within
+    the shard, per-direction FIFO order) — so a same-timestamp arrival
+    sorts before every local event at that instant regardless of which
+    sync window committed it.  The sequential reference must apply the
+    *same* tie rule: a plain ``call_at`` would order the arrival by its
+    global insertion sequence, information a parallel run cannot
+    reconstruct (an analytic train hold, for example, is scheduled a
+    full wire occupancy before its completion instant and would
+    out-sequence an arrival emitted only one propagation earlier).
+    With ranked deliveries on both sides, the two executions realize
+    the same linearization of the same causal partial order, so the
+    identity gate can demand byte-equality.
+
+    The rank folds in the *receiving* shard id above the border index.
+    That keeps ranks unique across the one shared heap (two shards each
+    have a border index 0; their ``_Call`` payloads are not orderable)
+    without disturbing within-shard order — the sid is constant for
+    every arrival a given shard receives, and cross-shard order at one
+    instant cannot affect state (shards only interact through these
+    very cut links, one propagation later).
+    """
+
+    is_border = True  # mirror BorderLink: flow reservations refuse cut hops
+
+    def __init__(self, env: Environment, params: LinkParams, name: str,
+                 hub: "_LocalHub"):
+        if params.propagation_ns <= 0:
+            raise NetworkError(
+                f"border link {name!r} needs propagation > 0 for lookahead"
+            )
+        super().__init__(env, params, name)
+        self._hub = hub
+        self._rank_base = {"a": None, "b": None}
+        self._next_seq = {"a": 1, "b": 1}  # BorderEnd._rx_seq starts at 1
+
+    def _deliver_at(self, to_end: str, when: int, item: Any) -> None:
+        base = self._rank_base[to_end]
+        if base is None:
+            base = self._hub.rank_base(self.name, to_end)
+            self._rank_base[to_end] = base
+        seq = self._next_seq[to_end]
+        self._next_seq[to_end] = seq + 1
+        self.env.schedule_ranked(
+            ((when, base + seq, self._ends[to_end], (item,)),))
+
+
 class _LocalHub:
-    """Sequential-reference stand-in: both shards get the same Link."""
+    """Sequential-reference stand-in: both shards get the same link.
+
+    Cut links are :class:`_SequentialCutLink`; the hub records which
+    shard build attached each end so delivery ranks use the receiving
+    shard's sorted-border index — the exact key :class:`BorderHub`
+    assigns to its :class:`~repro.sim.border.BorderEnd` objects.
+    """
 
     def __init__(self, env: Environment):
         self.env = env
         self._links: dict[str, Link] = {}
+        #: Set by run_sequential before each scenario.build(sid, ...).
+        self.current_sid = 0
+        #: (border name, link end) -> sid whose build attached that end.
+        self._end_sid: dict[tuple[str, str], int] = {}
+        self._order: Optional[dict[int, dict[str, int]]] = None
 
     def border_link(self, name: str, params: LinkParams,
                     local_end: str = "a") -> Link:
         link = self._links.get(name)
         if link is None:
-            link = Link(self.env, params, name=name)
+            link = _SequentialCutLink(self.env, params, name, hub=self)
             self._links[name] = link
+        self._end_sid[(name, local_end)] = self.current_sid
         return link
+
+    def rank_base(self, name: str, to_end: str) -> int:
+        """Delivery rank base for arrivals at ``to_end`` of border ``name``.
+
+        Resolved lazily on first delivery, after every shard has built
+        (workers enforce that each declared border is built, so the
+        per-sid sorted name sets match ``BorderHub._indices`` exactly).
+        """
+        if self._order is None:
+            by_sid: dict[int, set] = {}
+            for (nm, _end), sid in self._end_sid.items():
+                by_sid.setdefault(sid, set()).add(nm)
+            self._order = {
+                sid: {nm: i for i, nm in enumerate(sorted(names))}
+                for sid, names in by_sid.items()}
+        sid = self._end_sid[(name, to_end)]
+        return _BORDER_RANK + (((sid << 16) | self._order[sid][name]) << 32)
 
 
 class _ShardRunner:
@@ -155,13 +254,23 @@ class _ShardRunner:
                     for when, seq, item in b.take_due(limit):
                         due.append((when, b.index, seq, b.deliver, item))
                 if due:
-                    # Deterministic insertion: (arrival time, border
-                    # index, per-border FIFO order), regardless of the
-                    # wall-clock order the pipes were drained in.
-                    due.sort(key=lambda e: e[:3])
-                    env.schedule_bulk(
-                        (when, deliver, (item,))
-                        for when, _bi, _seq, deliver, item in due)
+                    # Deterministic ordering: explicit negative heap
+                    # ranks (border index, per-border FIFO order) make
+                    # a same-timestamp arrival sort before every local
+                    # event at that instant, no matter which sync
+                    # window committed it.  Insertion-order ties would
+                    # let wall-clock grant batching decide who wins a
+                    # same-instant arbitration (a local event at t
+                    # scheduled between two candidate commit windows
+                    # lands on either side of the arrival's sequence
+                    # number).  The sequential reference delivers over
+                    # its cut links with the same rank rule
+                    # (_SequentialCutLink), so both executions pick
+                    # the same linearization.
+                    env.schedule_ranked(
+                        (when, _BORDER_RANK + (bi << 32) + seq,
+                         deliver, (item,))
+                        for when, bi, seq, deliver, item in due)
                 env.run_window(limit)
                 nxt = env.peek()
                 t_next = limit if nxt is None else min(nxt, limit)
@@ -222,7 +331,8 @@ def _worker_main(shard_id: int, scenario, conns: dict, ctrl) -> None:
         with isolated_run(
                 observe=getattr(scenario, "observe", False)) as registry:
             env = Environment()
-            hub = BorderHub(env, conns)
+            sender = AsyncSender()
+            hub = BorderHub(env, conns, sender=sender)
             ctx = scenario.build(shard_id, env, hub)
             if hub.missing():
                 raise ShardError(
@@ -235,6 +345,9 @@ def _worker_main(shard_id: int, scenario, conns: dict, ctrl) -> None:
                 programs = [env.process(gen, name=f"shard{shard_id}.p{k}")
                             for gen in scenario.phase(shard_id, k, env, ctx)]
                 runner.run_phase(programs, last_phase=(k == nphases - 1))
+            # Matched sent/received counts at the final idle mean the
+            # queue is already drained; close() just joins the writer.
+            sender.close()
             ctrl.send(("result", {
                 "shard": shard_id,
                 "now": env.now,
@@ -425,7 +538,10 @@ def run_sequential(scenario) -> ShardResult:
     def body(registry) -> ShardResult:
         env = Environment()
         hub = _LocalHub(env)
-        ctxs = [scenario.build(sid, env, hub) for sid in range(scenario.nshards)]
+        ctxs = []
+        for sid in range(scenario.nshards):
+            hub.current_sid = sid
+            ctxs.append(scenario.build(sid, env, hub))
         for k in range(scenario.nphases):
             programs = [env.process(gen, name=f"seq{sid}.p{k}")
                         for sid in range(scenario.nshards)

@@ -9,6 +9,7 @@ against :func:`repro.sim.shard.run_sequential`.
 """
 
 import multiprocessing
+import time
 
 from hypothesis import given, settings, strategies as st
 
@@ -34,7 +35,7 @@ from repro.faults import FaultPlan
 from repro.hw.params import HostParams, NicParams, PCI_XD
 from repro.hw.switch import Switch
 from repro.sim import Environment
-from repro.sim.border import BorderEnd, BorderLink
+from repro.sim.border import AsyncSender, BorderEnd, BorderLink
 from repro.sim.shard import merge_trace_records, run_sequential, run_sharded
 from repro.sim.trace import render_trace
 from repro.units import KiB
@@ -110,6 +111,53 @@ def test_border_rejects_zero_lookahead():
         BorderEnd(c0, "w", 0, 0)
 
 
+def test_async_sender_never_blocks_the_poster():
+    # Regression for the k=16 sharded deadlock: a wire item bigger than
+    # the OS pipe buffer makes Connection.send block, and two workers
+    # both mid-send at each other hang forever.  With the writer
+    # thread, posting returns immediately no matter how much is queued,
+    # and everything still arrives in FIFO order once somebody reads.
+    c0, c1 = multiprocessing.Pipe()
+    sender = AsyncSender()
+    payloads = [("i", i, bytes([i % 251]) * (256 * KiB)) for i in range(16)]
+    t0 = time.monotonic()
+    for msg in payloads:
+        sender.post(c0, msg)          # ~4 MiB total, far past the buffer
+    posted_in = time.monotonic() - t0
+    assert posted_in < 1.0, f"post() blocked for {posted_in:.1f}s"
+    got = [c1.recv() for _ in payloads]
+    assert got == payloads
+    sender.close()
+
+
+def test_border_ends_with_async_sender_cross_flush():
+    # Both ends flood each other with over-buffer items through their
+    # own writer threads — the exact mutual-send shape that used to
+    # deadlock — then drain.  Item order per border must be preserved.
+    c0, c1 = multiprocessing.Pipe()
+    s0, s1 = AsyncSender(), AsyncSender()
+    a = BorderEnd(c0, "w", 0, 500, post=lambda m: s0.post(c0, m))
+    b = BorderEnd(c1, "w", 0, 500, post=lambda m: s1.post(c1, m))
+    blob = bytes(128 * KiB)
+    for i in range(8):
+        a.ship(100 + i, ("a", i, blob))
+        b.ship(100 + i, ("b", i, blob))
+    a.flush()
+    b.flush()
+    a.grant(10_000)
+    b.grant(10_000)
+    deadline = time.monotonic() + 30
+    while (a.received < 8 or b.received < 8) and time.monotonic() < deadline:
+        a.pump()
+        b.pump()
+    assert a.received == 8 and b.received == 8
+    assert a.horizon == b.horizon == 10_000
+    assert [e[2][1] for e in a.take_due(10_000)] == list(range(8))
+    assert [e[2][1] for e in b.take_due(10_000)] == list(range(8))
+    s0.close()
+    s1.close()
+
+
 # -- BorderLink: the cut wire -------------------------------------------------
 
 
@@ -143,6 +191,42 @@ def test_border_link_rejects_zero_propagation():
     with pytest.raises(NetworkError):
         BorderLink(env, flat,
                    BorderEnd(c0, "wire", 0, 500), local_end="a", name="wire")
+
+
+def test_sequential_cut_link_arrivals_win_same_instant_ties():
+    """The sequential reference applies the sharded border-first tie rule.
+
+    A local event scheduled much earlier (lower insertion sequence) but
+    firing at the same instant as a cut-link arrival must run *after*
+    it, exactly as the ranked commit orders it inside a worker — the
+    analytic-train-hold case that made fat-tree k=8 runs diverge when
+    the reference still used plain insertion order.  Arrivals for
+    different receiving shards at one instant must carry distinct ranks
+    (shard id folded into the rank) and per-direction FIFO must hold.
+    """
+    from repro.sim.shard import _LocalHub
+
+    env = Environment()
+    hub = _LocalHub(env)
+    hub.current_sid = 0
+    link = hub.border_link("trunk", PCI_XD, local_end="a")
+    hub.current_sid = 1
+    assert hub.border_link("trunk", PCI_XD, local_end="b") is link
+    assert link.is_border
+
+    order = []
+    link.attach("a", lambda item: order.append(("a", item)))
+    link.attach("b", lambda item: order.append(("b", item)))
+
+    when = PCI_XD.propagation_ns
+    env.call_at(when, lambda: order.append(("local", None)))
+    link._deliver_at("b", when, "x1")
+    link._deliver_at("b", when, "x2")
+    link._deliver_at("a", when, "y")
+    env.run()
+    # shard 0's arrival first (lower shard id in the rank), then shard
+    # 1's in emission order, and the earlier-scheduled local event last
+    assert order == [("a", "y"), ("b", "x1"), ("b", "x2"), ("local", None)]
 
 
 # -- partitioner: every proposed cut is a sound border ------------------------
